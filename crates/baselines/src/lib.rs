@@ -1,0 +1,31 @@
+//! # oe-baselines
+//!
+//! Every comparison system from the paper's evaluation (Tables III/IV,
+//! Figs. 3/6/7/11/12/13/14/15), implemented against the same
+//! [`oe_core::PsEngine`] trait as OpenEmbedding so the training simulator
+//! and the integration tests treat all engines interchangeably:
+//!
+//! | Engine | Paper name | Storage | Cache maintenance | Checkpoint |
+//! |---|---|---|---|---|
+//! | [`DramPs`] | DRAM-PS | DRAM hash | — | incremental (CheckFreq-style) |
+//! | [`OriCache`] | Ori-Cache | DRAM cache + PMem | synchronous, global list lock | incremental |
+//! | [`PmemHash`] | PMem-Hash | PMem hash (libpmemobj-style) | — | in-place (not batch-atomic) |
+//! | [`TfPs`] | Tensorflow | DRAM, single server | — | full dump |
+//!
+//! All engines initialize weights through `oe_core::init`, so on the same
+//! deterministic workload every engine converges to bit-identical
+//! weights — the `baseline_parity` integration test asserts exactly that.
+
+pub mod ckpt_log;
+pub mod dram_ps;
+pub mod incremental;
+pub mod ori_cache;
+pub mod pmem_hash;
+pub mod tf_ps;
+
+pub use ckpt_log::{CkptDevice, CkptLog};
+pub use dram_ps::DramPs;
+pub use incremental::IncrementalCkpt;
+pub use ori_cache::OriCache;
+pub use pmem_hash::PmemHash;
+pub use tf_ps::TfPs;

@@ -1,0 +1,90 @@
+//! Wall-clock benchmarks of Algorithm 2: the pipelined cache-maintenance
+//! pass and the two checkpointing schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oe_baselines::{CkptDevice, IncrementalCkpt};
+use oe_core::engine::PsEngine;
+use oe_core::{NodeConfig, OptimizerKind, PsNode};
+use oe_simdevice::Cost;
+use std::hint::black_box;
+
+const DIM: usize = 64;
+
+fn cfg(cache_entries: usize) -> NodeConfig {
+    let mut c = NodeConfig::small(DIM);
+    c.optimizer = OptimizerKind::Adagrad {
+        lr: 0.05,
+        eps: 1e-8,
+    };
+    c.cache_bytes = cache_entries * c.bytes_per_cached_entry();
+    c.pmem_capacity = 1 << 26;
+    c
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maintenance");
+    g.sample_size(15);
+
+    // Steady-state maintenance: mostly LRU reorders, some evict/load.
+    g.bench_function("algorithm2_1k_accesses", |b| {
+        let node = PsNode::new(cfg(512));
+        let keys: Vec<u64> = (0..1024).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        node.pull(&keys, 1, &mut out, &mut cost);
+        node.end_pull_phase(1);
+        let mut batch = 2u64;
+        b.iter(|| {
+            out.clear();
+            let mut cost = Cost::new();
+            node.pull(&keys, batch, &mut out, &mut cost);
+            let mut mcost = Cost::new();
+            let r = node.run_maintenance(batch, &mut mcost);
+            batch += 1;
+            black_box(r)
+        })
+    });
+
+    g.bench_function("batch_aware_checkpoint_cycle", |b| {
+        let node = PsNode::new(cfg(2048));
+        let keys: Vec<u64> = (0..1024).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        node.pull(&keys, 1, &mut out, &mut cost);
+        node.end_pull_phase(1);
+        node.push(&keys, &vec![0.01; 1024 * DIM], 1, &mut cost);
+        let mut batch = 2u64;
+        b.iter(|| {
+            let mut cost = Cost::new();
+            out.clear();
+            node.pull(&keys, batch, &mut out, &mut cost);
+            node.end_pull_phase(batch);
+            node.push(&keys, &vec![0.01; 1024 * DIM], batch, &mut cost);
+            node.request_checkpoint(batch);
+            batch += 1;
+            black_box(node.committed_checkpoint())
+        })
+    });
+
+    g.bench_function("incremental_checkpoint_dump_1k", |b| {
+        let node = IncrementalCkpt::new(PsNode::new(cfg(2048)), CkptDevice::Pmem);
+        let keys: Vec<u64> = (0..1024).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        node.pull(&keys, 1, &mut out, &mut cost);
+        node.end_pull_phase(1);
+        let mut batch = 1u64;
+        b.iter(|| {
+            let mut cost = Cost::new();
+            node.push(&keys, &vec![0.01; 1024 * DIM], batch, &mut cost);
+            let c = node.request_checkpoint(batch);
+            batch += 1;
+            black_box(c.total_ns())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

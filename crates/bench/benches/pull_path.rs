@@ -1,0 +1,103 @@
+//! Wall-clock pull-path benchmarks: cache hits, PMem misses, and the
+//! equivalent paths on the baselines — the code the paper's Algorithm 1
+//! puts on the training critical path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oe_baselines::{CkptDevice, DramPs, OriCache, PmemHash};
+use oe_core::engine::PsEngine;
+use oe_core::{NodeConfig, OptimizerKind, PsNode};
+use oe_simdevice::Cost;
+use std::hint::black_box;
+
+const DIM: usize = 64;
+const KEYS: u64 = 4096;
+
+fn cfg(cache_entries: usize) -> NodeConfig {
+    let mut c = NodeConfig::small(DIM);
+    c.optimizer = OptimizerKind::Adagrad {
+        lr: 0.05,
+        eps: 1e-8,
+    };
+    c.cache_bytes = cache_entries * c.bytes_per_cached_entry();
+    c.pmem_capacity = 1 << 26;
+    c
+}
+
+fn warm(e: &dyn PsEngine) -> Vec<u64> {
+    let keys: Vec<u64> = (0..KEYS).collect();
+    let mut out = Vec::new();
+    let mut cost = Cost::new();
+    e.pull(&keys, 1, &mut out, &mut cost);
+    e.end_pull_phase(1);
+    keys
+}
+
+fn bench_pull(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pull_1k_keys");
+    g.sample_size(20);
+
+    // All keys cached: the hot path.
+    {
+        let node = PsNode::new(cfg(KEYS as usize * 2));
+        let keys = warm(&node);
+        let mut out = Vec::with_capacity(1024 * DIM);
+        let mut batch = 2u64;
+        g.bench_function("oe_hits", |b| {
+            b.iter(|| {
+                out.clear();
+                let mut cost = Cost::new();
+                node.pull(&keys[..1024], batch, &mut out, &mut cost);
+                batch += 1;
+                black_box(out.len())
+            })
+        });
+    }
+
+    // Tiny cache: mostly PMem misses.
+    {
+        let node = PsNode::new(cfg(64));
+        let keys = warm(&node);
+        let mut out = Vec::with_capacity(1024 * DIM);
+        let mut batch = 2u64;
+        g.bench_function("oe_misses", |b| {
+            b.iter(|| {
+                out.clear();
+                let mut cost = Cost::new();
+                node.pull(&keys[..1024], batch, &mut out, &mut cost);
+                node.end_pull_phase(batch);
+                batch += 1;
+                black_box(out.len())
+            })
+        });
+    }
+
+    for (name, engine) in [
+        (
+            "dram_ps",
+            Box::new(DramPs::new(cfg(64), CkptDevice::Ssd)) as Box<dyn PsEngine>,
+        ),
+        (
+            "ori_cache",
+            Box::new(OriCache::new(cfg(2048), CkptDevice::Pmem)),
+        ),
+        ("pmem_hash", Box::new(PmemHash::new(cfg(64)))),
+    ] {
+        let keys = warm(engine.as_ref());
+        let mut out = Vec::with_capacity(1024 * DIM);
+        let mut batch = 2u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                out.clear();
+                let mut cost = Cost::new();
+                engine.pull(&keys[..1024], batch, &mut out, &mut cost);
+                batch += 1;
+                black_box(out.len())
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pull);
+criterion_main!(benches);

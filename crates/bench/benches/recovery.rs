@@ -1,0 +1,61 @@
+//! Wall-clock recovery benchmarks (the functional side of Fig. 14):
+//! crash-image construction, pool scan, and index rebuild.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oe_core::engine::PsEngine;
+use oe_core::recovery::recover_node;
+use oe_core::{NodeConfig, OptimizerKind, PsNode};
+use oe_simdevice::{Cost, Media};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn cfg() -> NodeConfig {
+    let mut c = NodeConfig::small(16);
+    c.optimizer = OptimizerKind::Sgd { lr: 0.1 };
+    c.cache_bytes = 512 * c.bytes_per_cached_entry();
+    c.pmem_capacity = 1 << 25;
+    c
+}
+
+fn trained_node(keys: u64) -> PsNode {
+    let node = PsNode::new(cfg());
+    let key_list: Vec<u64> = (0..keys).collect();
+    let mut out = Vec::new();
+    let mut cost = Cost::new();
+    for b in 1..=3 {
+        out.clear();
+        node.pull(&key_list, b, &mut out, &mut cost);
+        node.end_pull_phase(b);
+        node.push(&key_list, &vec![0.01; key_list.len() * 16], b, &mut cost);
+    }
+    node.request_checkpoint(3);
+    out.clear();
+    node.pull(&key_list, 4, &mut out, &mut cost);
+    node.end_pull_phase(4);
+    node
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+
+    for keys in [1_000u64, 8_000] {
+        let node = trained_node(keys);
+        g.bench_function(format!("crash_and_recover_{keys}_keys"), |b| {
+            b.iter_batched(
+                || Arc::new(Media::from_crash(node.pool().media().crash(42))),
+                |media| {
+                    let mut cost = Cost::new();
+                    let (n, report) = recover_node(media, cfg(), &mut cost).expect("recover");
+                    black_box((n.num_keys(), report.resume_batch))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

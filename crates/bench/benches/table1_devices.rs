@@ -1,0 +1,70 @@
+//! Wall-clock microbenchmarks of the simulated devices (Table I's
+//! subjects): media write/flush/fence/read paths and the crash snapshot.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use oe_simdevice::{Cost, Media, MediaConfig};
+use std::hint::black_box;
+
+fn bench_media(c: &mut Criterion) {
+    let mut g = c.benchmark_group("media");
+    g.sample_size(20);
+
+    g.bench_function("pmem_write_persist_576B", |b| {
+        let media = Media::new(MediaConfig::pmem(1 << 22));
+        let payload = vec![7u8; 576];
+        let mut off = 0u64;
+        b.iter(|| {
+            let mut cost = Cost::new();
+            media.write(off % (1 << 21), &payload, &mut cost);
+            media.persist(off % (1 << 21), 576, &mut cost);
+            off += 576;
+            black_box(cost.total_ns())
+        })
+    });
+
+    g.bench_function("pmem_read_576B", |b| {
+        let media = Media::new(MediaConfig::pmem(1 << 22));
+        let payload = vec![7u8; 576];
+        let mut cost = Cost::new();
+        media.write(0, &payload, &mut cost);
+        media.persist(0, 576, &mut cost);
+        let mut buf = vec![0u8; 576];
+        b.iter(|| {
+            let mut cost = Cost::new();
+            media.read(0, &mut buf, &mut cost);
+            black_box(buf[0])
+        })
+    });
+
+    g.bench_function("dram_write_576B", |b| {
+        let media = Media::new(MediaConfig::dram(1 << 22));
+        let payload = vec![7u8; 576];
+        b.iter(|| {
+            let mut cost = Cost::new();
+            media.write(0, &payload, &mut cost);
+            black_box(cost.total_ns())
+        })
+    });
+
+    g.bench_function("crash_snapshot_1MiB_dirty", |b| {
+        b.iter_batched(
+            || {
+                let media = Media::new(MediaConfig::pmem(1 << 21));
+                let mut cost = Cost::new();
+                let chunk = vec![1u8; 4096];
+                for i in 0..256u64 {
+                    media.write(i * 4096, &chunk, &mut cost);
+                    media.flush(i * 4096, 4096, &mut cost);
+                }
+                media
+            },
+            |media| black_box(media.crash(42)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_media);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Wall-clock benchmarks of workload generation and analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oe_workload::analyze::che_miss_rate;
+use oe_workload::{CriteoSynth, SkewModel, WorkloadGen, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(20);
+
+    g.bench_function("skew_sample_10k", |b| {
+        let model = SkewModel::paper_fit();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc ^= model.sample_rank(&mut rng, 1_000_000);
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("worker_batch_2048x8", |b| {
+        let gen = WorkloadGen::new(WorkloadSpec {
+            num_keys: 1_000_000,
+            fields: 8,
+            batch_size: 2048,
+            workers: 1,
+            skew: SkewModel::paper_fit(),
+            seed: 3,
+            drift_keys_per_batch: 0,
+        });
+        let mut idx = 0u64;
+        b.iter(|| {
+            idx += 1;
+            black_box(gen.worker_batch(idx, 0).unique_keys.len())
+        })
+    });
+
+    g.bench_function("criteo_sample_batch_256", |b| {
+        let synth = CriteoSynth::new(9);
+        let mut start = 0u64;
+        b.iter(|| {
+            start += 256;
+            black_box(synth.batch(start, 256).len())
+        })
+    });
+
+    g.bench_function("che_miss_rate_100k_keys", |b| {
+        let probs: Vec<f64> = (0..100_000)
+            .map(|i| (-(i as f64) / 5_000.0).exp() + 1e-9)
+            .collect();
+        b.iter(|| black_box(che_miss_rate(&probs, 2_000)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

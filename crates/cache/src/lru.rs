@@ -1,0 +1,240 @@
+//! Intrusive LRU list over DRAM arena slots.
+//!
+//! The list stores no data of its own: `prev`/`next` arrays are indexed by
+//! arena slot, so membership costs 8 bytes per cache entry and every
+//! operation is O(1). The head is most-recently-used; the tail is the
+//! eviction victim.
+//!
+//! Per the paper's pipelined design, `move_to_front` ("reorder" in
+//! Algorithm 2) is called by the maintainer threads *after* the pull burst
+//! completes — never on the pull critical path.
+
+const NIL: u32 = u32::MAX;
+
+/// O(1) intrusive LRU list keyed by arena slot index.
+pub struct LruList {
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl LruList {
+    /// A list able to track slots `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            prev: vec![NIL; capacity],
+            next: vec![NIL; capacity],
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Entries currently linked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Most-recently-used slot.
+    pub fn head(&self) -> Option<u32> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    /// Least-recently-used slot (the eviction victim).
+    pub fn tail(&self) -> Option<u32> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Link `slot` as most-recently-used. `slot` must not be linked.
+    pub fn push_front(&mut self, slot: u32) {
+        debug_assert!(!self.contains(slot), "slot {slot} already linked");
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+        self.len += 1;
+    }
+
+    /// Unlink `slot`. Panics in debug builds if it is not linked.
+    pub fn remove(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        debug_assert!(
+            p != NIL || n != NIL || self.head == slot,
+            "slot {slot} not linked"
+        );
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = NIL;
+        self.len -= 1;
+    }
+
+    /// Move an already-linked `slot` to the front (Algorithm 2 `reorder`).
+    pub fn move_to_front(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.remove(slot);
+        self.push_front(slot);
+    }
+
+    /// Unlink and return the LRU victim.
+    pub fn pop_back(&mut self) -> Option<u32> {
+        let victim = self.tail;
+        if victim == NIL {
+            return None;
+        }
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Whether `slot` is currently linked.
+    pub fn contains(&self, slot: u32) -> bool {
+        self.head == slot || self.prev[slot as usize] != NIL || self.next[slot as usize] != NIL
+    }
+
+    /// Iterate from MRU to LRU (test/debug helper; O(len)).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let out = cur;
+            cur = self.next[cur as usize];
+            Some(out)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(l: &LruList) -> Vec<u32> {
+        l.iter().collect()
+    }
+
+    #[test]
+    fn push_and_order() {
+        let mut l = LruList::new(8);
+        l.push_front(1);
+        l.push_front(2);
+        l.push_front(3);
+        assert_eq!(order(&l), vec![3, 2, 1]);
+        assert_eq!(l.head(), Some(3));
+        assert_eq!(l.tail(), Some(1));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn move_to_front_reorders() {
+        let mut l = LruList::new(8);
+        for s in [1, 2, 3] {
+            l.push_front(s);
+        }
+        l.move_to_front(1);
+        assert_eq!(order(&l), vec![1, 3, 2]);
+        l.move_to_front(1); // already head: no-op
+        assert_eq!(order(&l), vec![1, 3, 2]);
+        l.move_to_front(3);
+        assert_eq!(order(&l), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn pop_back_returns_lru() {
+        let mut l = LruList::new(8);
+        for s in [5, 6, 7] {
+            l.push_front(s);
+        }
+        assert_eq!(l.pop_back(), Some(5));
+        assert_eq!(l.pop_back(), Some(6));
+        assert_eq!(l.pop_back(), Some(7));
+        assert_eq!(l.pop_back(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn remove_middle_and_relink() {
+        let mut l = LruList::new(8);
+        for s in [1, 2, 3, 4] {
+            l.push_front(s);
+        }
+        l.remove(3);
+        assert_eq!(order(&l), vec![4, 2, 1]);
+        assert!(!l.contains(3));
+        l.push_front(3);
+        assert_eq!(order(&l), vec![3, 4, 2, 1]);
+    }
+
+    #[test]
+    fn single_element_edge_cases() {
+        let mut l = LruList::new(4);
+        l.push_front(0);
+        assert_eq!(l.head(), l.tail());
+        l.move_to_front(0);
+        assert_eq!(l.len(), 1);
+        l.remove(0);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), None);
+        assert_eq!(l.tail(), None);
+    }
+
+    #[test]
+    fn model_check_against_vecdeque() {
+        use std::collections::VecDeque;
+        let mut l = LruList::new(16);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        // Deterministic pseudo-random op mix.
+        let mut state = 12345u64;
+        let mut rand = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..2000 {
+            let op = rand() % 3;
+            match op {
+                0 => {
+                    let slot = rand() % 16;
+                    if !l.contains(slot) {
+                        l.push_front(slot);
+                        model.push_front(slot);
+                    }
+                }
+                1 => {
+                    let slot = rand() % 16;
+                    if l.contains(slot) {
+                        l.move_to_front(slot);
+                        let pos = model.iter().position(|&x| x == slot).unwrap();
+                        model.remove(pos);
+                        model.push_front(slot);
+                    }
+                }
+                _ => {
+                    assert_eq!(l.pop_back(), model.pop_back());
+                }
+            }
+            assert_eq!(order(&l), model.iter().copied().collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Tagged location pointers.
+//!
+//! The paper (§V-A) stores, in the DRAM hash index, pointers "implemented
+//! in the similar way as the smart pointers proposed in earlier work (ref. 21),
+//! which uses the lowest bit to indicate whether the target embedding
+//! entry is in DRAM or PMem". We reproduce that encoding on 64-bit slot
+//! indices.
+
+use oe_pmem::SlotId;
+
+/// A location: either a DRAM arena slot or a PMem pool slot, packed into
+/// one `u64` with the lowest bit as the DRAM tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaggedLoc(u64);
+
+const DRAM_BIT: u64 = 1;
+
+impl TaggedLoc {
+    /// Point at DRAM arena slot `slot`.
+    #[inline]
+    pub fn dram(slot: u32) -> Self {
+        Self(((slot as u64) << 1) | DRAM_BIT)
+    }
+
+    /// Point at PMem pool slot `id`.
+    #[inline]
+    pub fn pmem(id: SlotId) -> Self {
+        debug_assert!(id.0 < (1 << 63), "slot id overflows tag encoding");
+        Self(id.0 << 1)
+    }
+
+    /// True if the entry currently lives in the DRAM cache.
+    #[inline]
+    pub fn is_dram(self) -> bool {
+        self.0 & DRAM_BIT != 0
+    }
+
+    /// The DRAM slot, if this points at DRAM.
+    #[inline]
+    pub fn as_dram(self) -> Option<u32> {
+        self.is_dram().then_some((self.0 >> 1) as u32)
+    }
+
+    /// The PMem slot, if this points at PMem.
+    #[inline]
+    pub fn as_pmem(self) -> Option<SlotId> {
+        (!self.is_dram()).then_some(SlotId(self.0 >> 1))
+    }
+
+    /// Raw encoded value (for compact serialization in reports).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_roundtrip() {
+        let t = TaggedLoc::dram(12345);
+        assert!(t.is_dram());
+        assert_eq!(t.as_dram(), Some(12345));
+        assert_eq!(t.as_pmem(), None);
+    }
+
+    #[test]
+    fn pmem_roundtrip() {
+        let t = TaggedLoc::pmem(SlotId(987654321));
+        assert!(!t.is_dram());
+        assert_eq!(t.as_pmem(), Some(SlotId(987654321)));
+        assert_eq!(t.as_dram(), None);
+    }
+
+    #[test]
+    fn lowest_bit_is_the_tag() {
+        assert_eq!(TaggedLoc::dram(0).raw() & 1, 1);
+        assert_eq!(TaggedLoc::pmem(SlotId(0)).raw() & 1, 0);
+        assert_eq!(TaggedLoc::dram(7).raw(), (7 << 1) | 1);
+    }
+
+    #[test]
+    fn extreme_values() {
+        let t = TaggedLoc::dram(u32::MAX);
+        assert_eq!(t.as_dram(), Some(u32::MAX));
+        let big = SlotId((1u64 << 62) - 1);
+        assert_eq!(TaggedLoc::pmem(big).as_pmem(), Some(big));
+    }
+}

@@ -1,0 +1,105 @@
+//! Periodic checkpoint scheduling (the paper's "checkpoint thread").
+//!
+//! The paper sets the interval with Young's formula and Facebook's
+//! reported MTTF, defaulting to 20 minutes (§VI-A). In the simulator the
+//! scheduler is driven by virtual time: the trainer calls
+//! [`CheckpointScheduler::due`] at every batch boundary.
+
+use crate::BatchId;
+use oe_simdevice::clock::{minutes, Nanos};
+
+/// Decides when a periodic checkpoint is due.
+#[derive(Debug, Clone)]
+pub struct CheckpointScheduler {
+    interval_ns: Nanos,
+    last_ns: Nanos,
+    enabled: bool,
+}
+
+impl CheckpointScheduler {
+    /// Checkpoint every `interval_ns` of (virtual) time.
+    pub fn every(interval_ns: Nanos) -> Self {
+        Self {
+            interval_ns,
+            last_ns: 0,
+            enabled: true,
+        }
+    }
+
+    /// The paper's default: every 20 minutes.
+    pub fn paper_default() -> Self {
+        Self::every(minutes(20.0))
+    }
+
+    /// A disabled scheduler (the "No Checkpoint" configuration).
+    pub fn disabled() -> Self {
+        Self {
+            interval_ns: u64::MAX,
+            last_ns: 0,
+            enabled: false,
+        }
+    }
+
+    /// Whether checkpoints are being scheduled at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> Nanos {
+        self.interval_ns
+    }
+
+    /// Called at a batch boundary with the current virtual time and the
+    /// just-completed batch. Returns the batch id to checkpoint if the
+    /// interval has elapsed.
+    pub fn due(&mut self, now_ns: Nanos, completed: BatchId) -> Option<BatchId> {
+        if !self.enabled {
+            return None;
+        }
+        if now_ns.saturating_sub(self.last_ns) >= self.interval_ns {
+            self.last_ns = now_ns;
+            Some(completed)
+        } else {
+            None
+        }
+    }
+
+    /// Young's formula: optimal checkpoint interval ≈ √(2 · δ · MTBF)
+    /// where δ is the cost of taking one checkpoint. Exposed for the
+    /// interval-selection discussion in EXPERIMENTS.md.
+    pub fn youngs_interval(checkpoint_cost_ns: Nanos, mtbf_ns: Nanos) -> Nanos {
+        ((2.0 * checkpoint_cost_ns as f64 * mtbf_ns as f64).sqrt()) as Nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_simdevice::clock::secs;
+
+    #[test]
+    fn fires_on_interval() {
+        let mut s = CheckpointScheduler::every(secs(60.0));
+        assert_eq!(s.due(secs(10.0), 5), None);
+        assert_eq!(s.due(secs(61.0), 12), Some(12));
+        // Re-arms from the fire time.
+        assert_eq!(s.due(secs(100.0), 20), None);
+        assert_eq!(s.due(secs(121.0), 25), Some(25));
+    }
+
+    #[test]
+    fn disabled_never_fires() {
+        let mut s = CheckpointScheduler::disabled();
+        assert!(!s.is_enabled());
+        assert_eq!(s.due(u64::MAX - 1, 1), None);
+    }
+
+    #[test]
+    fn youngs_formula_shape() {
+        // 10 s checkpoint cost, 4 h MTBF → ~9 min (within 2x).
+        let i = CheckpointScheduler::youngs_interval(secs(10.0), secs(4.0 * 3600.0));
+        let mins = i as f64 / secs(60.0) as f64;
+        assert!((4.0..20.0).contains(&mins), "interval = {mins} min");
+    }
+}

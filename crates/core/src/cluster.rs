@@ -1,0 +1,256 @@
+//! Sharded PS cluster: embedding entries are partitioned across a series
+//! of PS nodes by hashing the entry id (paper §IV). The cluster scatters
+//! pull/push bursts to the owning nodes and gathers responses; the burst
+//! completion time is the max over nodes (they serve in parallel).
+
+use crate::engine::{MaintenanceReport, PsEngine};
+use crate::stats::StatsSnapshot;
+use crate::{BatchId, Key};
+use oe_simdevice::{Cost, CostKind};
+
+/// A cluster of PS engines of the same type.
+pub struct Cluster<E: PsEngine> {
+    nodes: Vec<E>,
+}
+
+impl<E: PsEngine> Cluster<E> {
+    /// Build a cluster from nodes.
+    pub fn new(nodes: Vec<E>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        Self { nodes }
+    }
+
+    /// Number of PS nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster is a single node.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Access a node (tests / stats).
+    pub fn node(&self, i: usize) -> &E {
+        &self.nodes[i]
+    }
+
+    /// Which node owns `key`.
+    #[inline]
+    pub fn node_of(&self, key: Key) -> usize {
+        (crate::init::splitmix64(key ^ 0xC1u64) % self.nodes.len() as u64) as usize
+    }
+
+    fn scatter(&self, keys: &[Key]) -> Vec<Vec<(usize, Key)>> {
+        let mut per: Vec<Vec<(usize, Key)>> = vec![Vec::new(); self.nodes.len()];
+        for (pos, &k) in keys.iter().enumerate() {
+            per[self.node_of(k)].push((pos, k));
+        }
+        per
+    }
+
+    /// Take the elementwise max of device/serialized charges (parallel
+    /// nodes) and the sum of CPU/NET (the client still pays per-request
+    /// work). A simple, conservative merge for multi-node bursts.
+    fn merge_parallel(costs: Vec<Cost>, out: &mut Cost) {
+        for kind in CostKind::ALL {
+            let ns = match kind {
+                CostKind::Cpu | CostKind::Net => costs.iter().map(|c| c.ns(kind)).sum(),
+                _ => costs.iter().map(|c| c.ns(kind)).max().unwrap_or(0),
+            };
+            out.charge_ns_only(kind, ns);
+        }
+    }
+}
+
+impl<E: PsEngine> PsEngine for Cluster<E> {
+    fn name(&self) -> &'static str {
+        self.nodes[0].name()
+    }
+
+    fn dim(&self) -> usize {
+        self.nodes[0].dim()
+    }
+
+    fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+        let dim = self.dim();
+        let start = out.len();
+        out.resize(start + keys.len() * dim, 0.0);
+        let mut node_costs = Vec::with_capacity(self.nodes.len());
+        for (ni, group) in self.scatter(keys).into_iter().enumerate() {
+            if group.is_empty() {
+                node_costs.push(Cost::new());
+                continue;
+            }
+            let node_keys: Vec<Key> = group.iter().map(|&(_, k)| k).collect();
+            let mut node_out = Vec::with_capacity(node_keys.len() * dim);
+            let mut c = Cost::new();
+            self.nodes[ni].pull(&node_keys, batch, &mut node_out, &mut c);
+            for (gi, &(pos, _)) in group.iter().enumerate() {
+                let dst = start + pos * dim;
+                out[dst..dst + dim].copy_from_slice(&node_out[gi * dim..(gi + 1) * dim]);
+            }
+            node_costs.push(c);
+        }
+        Self::merge_parallel(node_costs, cost);
+    }
+
+    fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
+        let reports: Vec<MaintenanceReport> =
+            self.nodes.iter().map(|n| n.end_pull_phase(batch)).collect();
+        let mut merged = MaintenanceReport::default();
+        let mut costs = Vec::new();
+        for r in reports {
+            merged.entries_processed += r.entries_processed;
+            merged.ckpt_commits += r.ckpt_commits;
+            costs.push(r.cost);
+        }
+        Self::merge_parallel(costs, &mut merged.cost);
+        merged
+    }
+
+    fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        let dim = self.dim();
+        let mut node_costs = Vec::with_capacity(self.nodes.len());
+        for (ni, group) in self.scatter(keys).into_iter().enumerate() {
+            if group.is_empty() {
+                node_costs.push(Cost::new());
+                continue;
+            }
+            let node_keys: Vec<Key> = group.iter().map(|&(_, k)| k).collect();
+            let mut node_grads = Vec::with_capacity(node_keys.len() * dim);
+            for &(pos, _) in &group {
+                node_grads.extend_from_slice(&grads[pos * dim..(pos + 1) * dim]);
+            }
+            let mut c = Cost::new();
+            self.nodes[ni].push(&node_keys, &node_grads, batch, &mut c);
+            node_costs.push(c);
+        }
+        Self::merge_parallel(node_costs, cost);
+    }
+
+    fn request_checkpoint(&self, batch: BatchId) -> Cost {
+        let mut total = Cost::new();
+        let costs: Vec<Cost> = self
+            .nodes
+            .iter()
+            .map(|n| n.request_checkpoint(batch))
+            .collect();
+        Self::merge_parallel(costs, &mut total);
+        total
+    }
+
+    fn committed_checkpoint(&self) -> BatchId {
+        // The cluster checkpoint is the min across nodes: only batches
+        // durably committed everywhere are globally recoverable.
+        self.nodes
+            .iter()
+            .map(|n| n.committed_checkpoint())
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for n in &self.nodes {
+            let s = n.stats();
+            total.pulls += s.pulls;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.new_entries += s.new_entries;
+            total.pushes += s.pushes;
+            total.evictions += s.evictions;
+            total.flushes += s.flushes;
+            total.loads += s.loads;
+            total.ckpt_commits += s.ckpt_commits;
+            total.ckpt_entries_written += s.ckpt_entries_written;
+            total.slots_recycled += s.slots_recycled;
+        }
+        total
+    }
+
+    fn read_weights(&self, key: Key) -> Option<Vec<f32>> {
+        self.nodes[self.node_of(key)].read_weights(key)
+    }
+
+    fn num_keys(&self) -> usize {
+        self.nodes.iter().map(|n| n.num_keys()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeConfig;
+    use crate::node::PsNode;
+    use crate::optimizer::OptimizerKind;
+
+    fn cluster(n: usize) -> Cluster<PsNode> {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        Cluster::new((0..n).map(|_| PsNode::new(cfg.clone())).collect())
+    }
+
+    #[test]
+    fn scatter_gather_preserves_order() {
+        let c3 = cluster(3);
+        let c1 = cluster(1);
+        let keys: Vec<u64> = (0..40).collect();
+        let mut out3 = Vec::new();
+        let mut out1 = Vec::new();
+        let mut cost = Cost::new();
+        c3.pull(&keys, 1, &mut out3, &mut cost);
+        c1.pull(&keys, 1, &mut out1, &mut cost);
+        // Same deterministic init regardless of cluster size and order.
+        assert_eq!(out3, out1);
+        assert_eq!(out3.len(), 40 * 4);
+    }
+
+    #[test]
+    fn push_routes_to_owner() {
+        let c = cluster(4);
+        let keys: Vec<u64> = (0..16).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        c.pull(&keys, 1, &mut out, &mut cost);
+        c.end_pull_phase(1);
+        let grads = vec![1.0f32; 16 * 4];
+        c.push(&keys, &grads, 1, &mut cost);
+        for (i, &k) in keys.iter().enumerate() {
+            let w = c.read_weights(k).unwrap();
+            assert!((w[0] - (out[i * 4] - 1.0)).abs() < 1e-6, "key {k}");
+        }
+        // All nodes saw some keys (hash spreads 16 keys over 4 nodes whp).
+        let busy = (0..4).filter(|&i| c.node(i).num_keys() > 0).count();
+        assert!(busy >= 3, "keys spread across nodes: {busy}");
+    }
+
+    #[test]
+    fn cluster_checkpoint_is_min() {
+        let c = cluster(2);
+        let keys: Vec<u64> = (0..8).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        c.pull(&keys, 1, &mut out, &mut cost);
+        c.end_pull_phase(1);
+        c.push(&keys, &[0.1; 8 * 4], 1, &mut cost);
+        c.request_checkpoint(1);
+        let mut out2 = Vec::new();
+        c.pull(&keys, 2, &mut out2, &mut cost);
+        c.end_pull_phase(2);
+        assert_eq!(c.committed_checkpoint(), 1);
+    }
+
+    #[test]
+    fn parallel_cost_merge_takes_max_of_device_time() {
+        let mut costs = vec![Cost::new(), Cost::new()];
+        costs[0].charge(CostKind::PmemWrite, 100);
+        costs[1].charge(CostKind::PmemWrite, 300);
+        costs[0].charge(CostKind::Cpu, 10);
+        costs[1].charge(CostKind::Cpu, 20);
+        let mut out = Cost::new();
+        Cluster::<PsNode>::merge_parallel(costs, &mut out);
+        assert_eq!(out.ns(CostKind::PmemWrite), 300);
+        assert_eq!(out.ns(CostKind::Cpu), 30);
+    }
+}

@@ -1,0 +1,72 @@
+//! The storage-engine interface shared by OpenEmbedding and every
+//! baseline, consumed by the synchronous-training simulator.
+//!
+//! The phase split mirrors the paper's batch anatomy (Fig. 2/5):
+//!
+//! ```text
+//!  pull burst → [maintenance ∥ GPU compute] → push burst → (checkpoint?)
+//! ```
+//!
+//! `pull`/`push` charge their costs to the caller's [`Cost`] sink — they
+//! are on the critical path. [`PsEngine::end_pull_phase`] performs the
+//! engine's deferred work (cache replacement, flush-backs, checkpoint
+//! commits) and returns its cost *separately*, so the trainer can overlap
+//! it with the simulated GPU compute for pipelined engines, or add it to
+//! the critical path for engines that do the work inline (in which case
+//! the report is empty because the cost was already charged during pull).
+
+use crate::stats::StatsSnapshot;
+use crate::{BatchId, Key};
+use oe_simdevice::Cost;
+
+/// Outcome of the deferred (pipelined) phase of a batch.
+#[derive(Debug, Default, Clone)]
+pub struct MaintenanceReport {
+    /// Virtual-time cost of the deferred work (overlappable with compute).
+    pub cost: Cost,
+    /// Access-queue records processed.
+    pub entries_processed: u64,
+    /// Checkpoints committed during this maintenance pass.
+    pub ckpt_commits: u64,
+}
+
+/// A parameter-server storage engine.
+pub trait PsEngine: Send + Sync {
+    /// Short stable name used in figures ("PMem-OE", "DRAM-PS", …).
+    fn name(&self) -> &'static str;
+
+    /// Embedding dimension served.
+    fn dim(&self) -> usize;
+
+    /// Serve a pull burst: append `dim` weights per key to `out`.
+    /// `batch` is the batch about to train on these weights.
+    fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost);
+
+    /// All pulls of `batch` are done: run the engine's deferred work.
+    /// Pipelined engines do cache replacement + checkpoint work here;
+    /// inline engines return an empty report.
+    fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport;
+
+    /// Apply a gradient burst: `grads` is `keys.len() * dim` values,
+    /// pre-aggregated per key.
+    fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost);
+
+    /// Request a checkpoint covering everything up to and including
+    /// `batch`. Returns the *inline* cost that pauses training
+    /// (near-zero for batch-aware checkpointing; the full dump for
+    /// synchronous incremental checkpointing).
+    fn request_checkpoint(&self, batch: BatchId) -> Cost;
+
+    /// Batch id of the newest durably committed checkpoint.
+    fn committed_checkpoint(&self) -> BatchId;
+
+    /// Counter snapshot.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Current weights of `key` (None if never initialized). For tests,
+    /// verification and weight export — not a hot path.
+    fn read_weights(&self, key: Key) -> Option<Vec<f32>>;
+
+    /// Number of distinct keys the engine knows.
+    fn num_keys(&self) -> usize;
+}

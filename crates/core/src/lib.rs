@@ -1,0 +1,46 @@
+//! # oe-core — the OpenEmbedding parameter server
+//!
+//! The paper's primary contribution: a PMem-backed parameter server for
+//! synchronous DLRM training with
+//!
+//! - **pull handling via a DRAM cache** ([`node::PsNode::pull`],
+//!   Algorithm 1): lock-light reads from DRAM or PMem, first-touch
+//!   initialization, access-queue append;
+//! - **pipelined cache maintenance co-designed with lightweight
+//!   batch-aware checkpointing** ([`node::PsNode::run_maintenance`],
+//!   Algorithm 2): deferred LRU reordering, flush-before-version-bump,
+//!   eviction write-back, and checkpoint commit by atomically advancing
+//!   the Checkpointed Batch ID in PMem;
+//! - **gradient application on the server** with pluggable
+//!   [`optimizer`]s (SGD / AdaGrad / Adam), optimizer state co-located
+//!   with the weights so checkpoints capture training state exactly;
+//! - **recovery** ([`recovery`]): scan PMem, discard post-checkpoint
+//!   versions, rebuild the DRAM hash index — no data copy;
+//! - a **sharded cluster** ([`cluster::Cluster`]) hashing keys across PS
+//!   nodes.
+//!
+//! Engines (this one and the baselines in `oe-baselines`) implement the
+//! [`engine::PsEngine`] trait consumed by the training simulator.
+
+pub mod checkpoint;
+pub mod cluster;
+pub mod config;
+pub mod engine;
+pub mod init;
+pub mod node;
+pub mod optimizer;
+pub mod recovery;
+pub mod stats;
+
+pub use checkpoint::CheckpointScheduler;
+pub use cluster::Cluster;
+pub use config::{NodeConfig, CACHE_ENTRY_OVERHEAD_BYTES};
+pub use engine::{MaintenanceReport, PsEngine};
+pub use node::PsNode;
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use stats::{EngineStats, StatsSnapshot};
+
+/// Embedding key (re-exported from `oe-cache`).
+pub type Key = oe_cache::Key;
+/// Batch identifier (re-exported from `oe-cache`).
+pub type BatchId = oe_cache::BatchId;

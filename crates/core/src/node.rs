@@ -1,0 +1,908 @@
+//! The OpenEmbedding PS node: Algorithm 1 (pull weights) and Algorithm 2
+//! (cache replacement & checkpoint), plus gradient application.
+//!
+//! ## Checkpoint-correctness invariant
+//!
+//! At every instant, for every key and every protection boundary `b`
+//! (the committed Checkpointed Batch ID and every pending checkpoint
+//! request), PMem retains the key's newest state with version ≤ `b`,
+//! *provided the key existed at batch `b`*. The moving parts:
+//!
+//! - **flush-before-bump** (Alg. 2 lines 13–16): when maintenance
+//!   re-versions a cached entry from `v` to the current batch `n`, it
+//!   first flushes the `v`-state if `v ≤ max(pending checkpoints)` and
+//!   the PMem copy is stale;
+//! - **out-of-place flushes with version-chain pruning** keep exactly the
+//!   slots the boundaries require (see [`oe_cache::VersionChain`]);
+//! - **commit-on-eviction** (Alg. 2 lines 24–27): when every shard's LRU
+//!   victim is newer than the head checkpoint, all ≤-cp states have been
+//!   flushed, so the Checkpointed Batch ID is atomically advanced;
+//! - a **drain pass** at the end of each maintenance run flushes the
+//!   stragglers (cached entries still at version ≤ cp) so checkpoints
+//!   commit within one batch even when the cache is not evicting.
+//!
+//! Checkpoint requests must carry the id of the **latest completed
+//! batch** (synchronous checkpointing, paper §II-A): every entry version
+//! is then ≤ cp at request time, which closes the flush-before-bump race.
+
+use crate::config::{
+    NodeConfig, ACCESS_QUEUE_NS, HASH_PROBE_NS, INIT_ENTRY_NS, LRU_OP_NS, OPT_FLOP_NS_PER_F32,
+};
+use crate::engine::{MaintenanceReport, PsEngine};
+use crate::init::init_payload;
+use crate::optimizer::Optimizer;
+use crate::stats::{EngineStats, StatsSnapshot};
+use crate::{BatchId, Key};
+use oe_cache::chain::CHAIN_CAP;
+use oe_cache::policy::EvictionPolicy;
+use oe_cache::{AccessQueue, Admission, DramArena, HashIndex, TaggedLoc, VersionChain};
+use oe_pmem::{PmemPool, PoolConfig};
+use oe_simdevice::{Cost, CostKind, DeviceTiming};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum simultaneously pending checkpoint requests; a newer request
+/// replaces the newest pending one when the queue is full (a later
+/// checkpoint strictly supersedes an uncommitted earlier one).
+const MAX_PENDING_CKPTS: usize = 3;
+
+/// One cache shard: hash index + DRAM arena + LRU, guarded together by
+/// the shard lock (the paper's reader-writer lock, Alg. 1 line 3 /
+/// Alg. 2 line 9).
+struct Shard {
+    index: HashIndex,
+    arena: DramArena,
+    /// Replacement policy (LRU by default; Algorithm 2's "LRU List").
+    policy: Box<dyn EvictionPolicy>,
+    /// Admission filter consulted before loading a missed key.
+    admission: Admission,
+}
+
+/// The OpenEmbedding parameter-server node ("PMem-OE").
+pub struct PsNode {
+    cfg: NodeConfig,
+    opt: Optimizer,
+    pool: PmemPool,
+    shards: Vec<RwLock<Shard>>,
+    access_queue: AccessQueue,
+    ckpt_pending: Mutex<VecDeque<BatchId>>,
+    committed: AtomicU64,
+    stats: EngineStats,
+    dram: DeviceTiming,
+}
+
+impl PsNode {
+    /// Create a fresh node on new PMem media.
+    pub fn new(cfg: NodeConfig) -> Self {
+        cfg.validate();
+        let mut cost = Cost::new();
+        let pool = PmemPool::create(
+            PoolConfig {
+                payload_bytes: cfg.payload_bytes(),
+                capacity: cfg.pmem_capacity,
+            },
+            &mut cost,
+        );
+        Self::with_pool(cfg, pool)
+    }
+
+    fn with_pool(cfg: NodeConfig, pool: PmemPool) -> Self {
+        let per_shard = cfg.cache_entries_per_shard();
+        let shards = (0..cfg.shards)
+            .map(|_| {
+                RwLock::new(Shard {
+                    index: HashIndex::with_capacity(per_shard * 2),
+                    arena: DramArena::new(per_shard, cfg.payload_f32s()),
+                    policy: cfg.replacement.build(per_shard),
+                    admission: cfg.admission.build(per_shard * 16),
+                })
+            })
+            .collect();
+        let opt = cfg.optimizer.build();
+        Self {
+            cfg,
+            opt,
+            pool,
+            shards,
+            access_queue: AccessQueue::new(),
+            ckpt_pending: Mutex::new(VecDeque::new()),
+            committed: AtomicU64::new(0),
+            stats: EngineStats::default(),
+            dram: DeviceTiming::dram(),
+        }
+    }
+
+    /// Rebuild a node from a recovered pool + scan report: every live
+    /// entry is indexed at its PMem slot; the cache starts cold; the
+    /// committed checkpoint id is restored from the pool root.
+    pub(crate) fn from_recovery(
+        cfg: NodeConfig,
+        pool: PmemPool,
+        scan: &oe_pmem::scan::ScanReport,
+    ) -> Self {
+        let node = Self::with_pool(cfg, pool);
+        for r in &scan.live {
+            let sid = node.shard_of(r.key);
+            let mut g = node.shards[sid].write();
+            g.index.insert_recovered(r.key, r.id, r.version);
+        }
+        node.committed.store(scan.checkpoint_id, Ordering::Release);
+        node
+    }
+
+    /// Node configuration.
+    pub fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+
+    /// The backing PMem pool (crash it in tests via `pool().media()`).
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    #[inline]
+    fn shard_of(&self, key: Key) -> usize {
+        (crate::init::splitmix64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Protection boundaries: committed CBI + all pending checkpoint ids.
+    fn boundaries(&self) -> (Vec<BatchId>, Option<BatchId>, BatchId) {
+        let committed = self.committed.load(Ordering::Acquire);
+        let pending = self.ckpt_pending.lock();
+        let head = pending.front().copied();
+        let protect_max = pending.iter().copied().max().unwrap_or(committed);
+        let mut bounds = Vec::with_capacity(1 + pending.len());
+        bounds.push(committed);
+        bounds.extend(pending.iter().copied());
+        (bounds, head, protect_max)
+    }
+
+    /// Flush `payload` (state at `version`) of `key` to PMem out of
+    /// place, then prune the chain against `boundaries`.
+    fn flush_payload(
+        &self,
+        key: Key,
+        version: BatchId,
+        payload: &[f32],
+        chain: &mut VersionChain,
+        boundaries: &[BatchId],
+        cost: &mut Cost,
+    ) {
+        if chain.len() == CHAIN_CAP {
+            // Emergency prune so push never overflows.
+            let mut freed = Vec::new();
+            chain.prune(boundaries, &mut freed);
+            for s in freed {
+                self.pool.free(s, cost);
+                EngineStats::add(&self.stats.slots_recycled, 1);
+            }
+            assert!(
+                chain.len() < CHAIN_CAP,
+                "version chain irreducible: too many pending checkpoints"
+            );
+        }
+        let slot = self.pool.alloc(cost);
+        self.pool.write_slot(slot, key, version, payload, cost);
+        chain.push(slot, version);
+        let mut freed = Vec::new();
+        chain.prune(boundaries, &mut freed);
+        for s in freed {
+            self.pool.free(s, cost);
+            EngineStats::add(&self.stats.slots_recycled, 1);
+        }
+        EngineStats::add(&self.stats.flushes, 1);
+    }
+
+    /// Evict the shard's LRU victim to PMem, freeing one arena slot.
+    /// Returns the victim's version, or None if nothing is cached.
+    fn evict_one(
+        &self,
+        shard: &mut Shard,
+        boundaries: &[BatchId],
+        cost: &mut Cost,
+    ) -> Option<BatchId> {
+        let victim = shard.policy.evict()?;
+        let vkey = shard.arena.key(victim);
+        let vver = shard.arena.version(victim);
+        let Shard { index, arena, .. } = shard;
+        let e = index.get_mut(vkey).expect("cached key must be indexed");
+        if arena.is_dirty(victim) {
+            self.flush_payload(
+                vkey,
+                vver,
+                arena.payload(victim),
+                &mut e.chain,
+                boundaries,
+                cost,
+            );
+        }
+        let (newest_slot, _) = e.chain.newest().expect("evicted entry has a PMem copy");
+        e.loc = TaggedLoc::pmem(newest_slot);
+        e.version = vver;
+        arena.remove(victim);
+        EngineStats::add(&self.stats.evictions, 1);
+        Some(vver)
+    }
+
+    /// Algorithm 2 body for one accessed key. Returns true if an
+    /// eviction occurred (commit check may be due).
+    fn maintain_key(
+        &self,
+        shard: &mut Shard,
+        key: Key,
+        batch: BatchId,
+        boundaries: &[BatchId],
+        protect_max: BatchId,
+        cost: &mut Cost,
+    ) -> bool {
+        cost.charge(CostKind::Cpu, HASH_PROBE_NS + LRU_OP_NS);
+        let mut evicted = false;
+        let Some(e) = shard.index.get_mut(key) else {
+            return false; // key vanished (not possible in normal flow)
+        };
+        if let Some(slot) = e.loc.as_dram() {
+            // Cached entry (Alg. 2 lines 12-17): flush the old-version
+            // state if a pending checkpoint may need it, then re-version
+            // and reorder.
+            let v = shard.arena.version(slot);
+            if v < batch {
+                if v <= protect_max && shard.arena.is_dirty(slot) {
+                    let Shard { arena, .. } = shard;
+                    self.flush_payload(key, v, arena.payload(slot), &mut e.chain, boundaries, cost);
+                    // The v-state is now persisted; the payload is clean
+                    // until the next gradient lands.
+                    arena.set_dirty(slot, false);
+                }
+                shard.arena.set_version(slot, batch);
+                e.version = batch;
+            }
+            shard.policy.on_access(slot);
+        } else {
+            // PMem-resident entry (Alg. 2 lines 18-31): consult the
+            // admission filter, then make room and load.
+            let pm_slot = e.loc.as_pmem().expect("tagged loc");
+            let version = e.version;
+            if !shard.admission.admit(key) {
+                // One-hit wonder (so far): leave it in PMem.
+                return false;
+            }
+            if shard.arena.is_full() {
+                self.evict_one(shard, boundaries, cost);
+                evicted = true;
+            }
+            let dram_slot = shard
+                .arena
+                .insert(key, batch)
+                .expect("eviction freed a slot");
+            // Copy payload PMem → DRAM.
+            {
+                let Shard { arena, .. } = shard;
+                let dst = arena.payload_mut(dram_slot);
+                let ok = self.pool.read_slot(pm_slot, dst, cost).is_some();
+                assert!(ok, "indexed PMem slot must be valid");
+                cost.charge(
+                    CostKind::DramTransfer,
+                    self.dram.write_ns((dst.len() * 4) as u64),
+                );
+            }
+            EngineStats::add(&self.stats.loads, 1);
+            // The loaded state is already in PMem: clean until pushed.
+            shard.arena.set_dirty(dram_slot, false);
+            let e = shard.index.get_mut(key).expect("still indexed");
+            e.loc = TaggedLoc::dram(dram_slot);
+            // Note: the chain's newest *version label* may lag `version`
+            // when the entry was evicted clean (bumped but never pushed);
+            // the payload contents are identical in that case.
+            let _ = version;
+            e.version = batch;
+            shard.policy.on_insert(dram_slot);
+        }
+        evicted
+    }
+
+    /// Commit every pending checkpoint whose condition holds: all shards'
+    /// LRU victims are newer than it (Alg. 2 lines 24-27, generalized to
+    /// shards). Call without holding shard locks.
+    fn try_commit(&self, cost: &mut Cost) -> u64 {
+        let mut commits = 0;
+        loop {
+            let Some(cp) = self.ckpt_pending.lock().front().copied() else {
+                break;
+            };
+            let all_newer = self.shards.iter().all(|s| {
+                let g = s.read();
+                // Only LRU guarantees the victim is oldest-versioned;
+                // other policies rely on the drain pass instead.
+                if !g.policy.victim_is_oldest_version() {
+                    return false;
+                }
+                match g.policy.peek_victim() {
+                    Some(t) => g.arena.version(t) > cp,
+                    None => g.arena.is_empty(),
+                }
+            });
+            if !all_newer {
+                break;
+            }
+            self.commit_checkpoint(cp, cost);
+            commits += 1;
+        }
+        commits
+    }
+
+    fn commit_checkpoint(&self, cp: BatchId, cost: &mut Cost) {
+        self.pool.set_checkpoint_id(cp, cost);
+        self.committed.store(cp, Ordering::Release);
+        let mut q = self.ckpt_pending.lock();
+        debug_assert_eq!(q.front().copied(), Some(cp));
+        q.pop_front();
+        EngineStats::add(&self.stats.ckpt_commits, 1);
+    }
+
+    /// Drain pass: flush every cached dirty entry with version ≤ cp, then
+    /// commit cp. Makes checkpoints commit within one maintenance cycle
+    /// even when the cache is not evicting.
+    fn drain_commit(&self, cost: &mut Cost) -> u64 {
+        let mut commits = 0;
+        loop {
+            let Some(cp) = self.ckpt_pending.lock().front().copied() else {
+                break;
+            };
+            let (boundaries, _, _) = self.boundaries();
+            for s in &self.shards {
+                let mut g = s.write();
+                let slots: Vec<u32> = g
+                    .arena
+                    .iter_live()
+                    .filter(|&slot| g.arena.version(slot) <= cp)
+                    .collect();
+                for slot in slots {
+                    let key = g.arena.key(slot);
+                    let v = g.arena.version(slot);
+                    let Shard { index, arena, .. } = &mut *g;
+                    let e = index.get_mut(key).expect("cached key indexed");
+                    if arena.is_dirty(slot) {
+                        self.flush_payload(
+                            key,
+                            v,
+                            arena.payload(slot),
+                            &mut e.chain,
+                            &boundaries,
+                            cost,
+                        );
+                        arena.set_dirty(slot, false);
+                    }
+                    cost.charge(CostKind::Cpu, LRU_OP_NS);
+                }
+            }
+            self.commit_checkpoint(cp, cost);
+            commits += 1;
+        }
+        commits
+    }
+
+    /// Pull for cache-disabled mode: entries live in PMem only.
+    fn pull_uncached(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+        let dim = self.cfg.dim;
+        let mut payload = vec![0f32; self.cfg.payload_f32s()];
+        for &key in keys {
+            cost.charge(CostKind::Cpu, HASH_PROBE_NS);
+            let sid = self.shard_of(key);
+            let mut g = self.shards[sid].write();
+            match g.index.get(key) {
+                Some(e) => {
+                    let slot = e.loc.as_pmem().expect("uncached mode: PMem only");
+                    self.pool
+                        .read_slot(slot, &mut payload, cost)
+                        .expect("valid");
+                    out.extend_from_slice(&payload[..dim]);
+                    EngineStats::add(&self.stats.misses, 1);
+                }
+                None => {
+                    init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, &mut payload);
+                    let (boundaries, _, _) = self.boundaries();
+                    let slot = self.pool.alloc(cost);
+                    self.pool.write_slot(slot, key, batch, &payload, cost);
+                    let mut chain = VersionChain::new();
+                    chain.push(slot, batch);
+                    let _ = boundaries;
+                    g.index.insert_recovered(key, slot, batch);
+                    g.index.get_mut(key).unwrap().chain = chain;
+                    out.extend_from_slice(&payload[..dim]);
+                    EngineStats::add(&self.stats.new_entries, 1);
+                    cost.charge(CostKind::Serialized, INIT_ENTRY_NS);
+                }
+            }
+            EngineStats::add(&self.stats.pulls, 1);
+        }
+    }
+
+    /// Push for cache-disabled mode: read-modify-write out of place.
+    fn push_uncached(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        let dim = self.cfg.dim;
+        let mut payload = vec![0f32; self.cfg.payload_f32s()];
+        let (boundaries, _, _) = self.boundaries();
+        for (i, &key) in keys.iter().enumerate() {
+            let sid = self.shard_of(key);
+            let mut g = self.shards[sid].write();
+            let Shard { index, .. } = &mut *g;
+            let e = index.get_mut(key).expect("pushed key must exist");
+            let slot = e.loc.as_pmem().expect("uncached mode: PMem only");
+            self.pool
+                .read_slot(slot, &mut payload, cost)
+                .expect("valid");
+            self.opt
+                .apply(dim, &mut payload, &grads[i * dim..(i + 1) * dim]);
+            cost.charge(
+                CostKind::Cpu,
+                dim as u64 * OPT_FLOP_NS_PER_F32 + HASH_PROBE_NS,
+            );
+            self.flush_payload(key, batch, &payload, &mut e.chain, &boundaries, cost);
+            let (newest, _) = e.chain.newest().unwrap();
+            e.loc = TaggedLoc::pmem(newest);
+            e.version = batch;
+            EngineStats::add(&self.stats.pushes, 1);
+        }
+    }
+
+    /// Run Algorithm 2 over the access queue. Public so tests can drive
+    /// maintenance directly; engines call it via `end_pull_phase`.
+    pub fn run_maintenance(&self, batch: BatchId, cost: &mut Cost) -> (u64, u64) {
+        let mut processed = 0u64;
+        let mut commits = 0u64;
+        if self.cfg.enable_cache {
+            let mut chunk = Vec::with_capacity(1024);
+            loop {
+                chunk.clear();
+                if self.access_queue.drain_into(&mut chunk, 1024) == 0 {
+                    break;
+                }
+                let (boundaries, _, protect_max) = self.boundaries();
+                let mut any_evicted = false;
+                for &key in chunk.iter() {
+                    let sid = self.shard_of(key);
+                    let mut g = self.shards[sid].write();
+                    any_evicted |=
+                        self.maintain_key(&mut g, key, batch, &boundaries, protect_max, cost);
+                    processed += 1;
+                }
+                if any_evicted {
+                    commits += self.try_commit(cost);
+                }
+            }
+        }
+        // Checkpoint completion: evictions may already have committed;
+        // the drain pass finishes whatever is left.
+        commits += self.try_commit(cost);
+        commits += self.drain_commit(cost);
+        (processed, commits)
+    }
+
+    /// Inline maintenance for the non-pipelined ablation: the same work,
+    /// charged to the pull path as serialized time (global-lock model).
+    fn maintain_inline(&self, batch: BatchId, cost: &mut Cost) {
+        let mut mcost = Cost::new();
+        let (processed, _) = {
+            let (p, c) = self.run_maintenance(batch, &mut mcost);
+            (p, c)
+        };
+        let _ = processed;
+        // Device work stays in its buckets; CPU work becomes serialized.
+        for kind in [
+            CostKind::PmemRead,
+            CostKind::PmemWrite,
+            CostKind::DramTransfer,
+        ] {
+            cost.charge_ns_only(kind, mcost.ns(kind));
+        }
+        cost.charge_ns_only(
+            CostKind::Serialized,
+            mcost.ns(CostKind::Cpu) + mcost.ns(CostKind::Serialized),
+        );
+    }
+}
+
+impl PsEngine for PsNode {
+    fn name(&self) -> &'static str {
+        "PMem-OE"
+    }
+
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+        out.reserve(keys.len() * self.cfg.dim);
+        if !self.cfg.enable_cache {
+            self.pull_uncached(keys, batch, out, cost);
+            return;
+        }
+        let dim = self.cfg.dim;
+        let mut scratch = vec![0f32; self.cfg.payload_f32s()];
+        for &key in keys {
+            cost.charge(CostKind::Cpu, HASH_PROBE_NS + ACCESS_QUEUE_NS);
+            let sid = self.shard_of(key);
+            let guard = self.shards[sid].upgradable_read();
+            let known = guard.index.get(key).map(|e| (e.loc, e.version));
+            match known {
+                Some((loc, _)) => {
+                    if let Some(slot) = loc.as_dram() {
+                        out.extend_from_slice(&guard.arena.payload(slot)[..dim]);
+                        cost.charge(CostKind::DramTransfer, self.dram.read_ns((dim * 4) as u64));
+                        EngineStats::add(&self.stats.hits, 1);
+                    } else {
+                        let slot = loc.as_pmem().unwrap();
+                        self.pool
+                            .read_slot(slot, &mut scratch, cost)
+                            .expect("indexed slot valid");
+                        out.extend_from_slice(&scratch[..dim]);
+                        EngineStats::add(&self.stats.misses, 1);
+                    }
+                }
+                None => {
+                    // Algorithm 1 lines 6-12: first touch, write lock.
+                    let mut g = parking_lot::RwLockUpgradableReadGuard::upgrade(guard);
+                    cost.charge(CostKind::Serialized, INIT_ENTRY_NS);
+                    if g.admission.admit(key) {
+                        if g.arena.is_full() {
+                            let (boundaries, _, _) = self.boundaries();
+                            self.evict_one(&mut g, &boundaries, cost);
+                        }
+                        let slot = g.arena.insert(key, batch).expect("slot available");
+                        init_payload(
+                            self.cfg.seed,
+                            key,
+                            self.cfg.init_scale,
+                            dim,
+                            g.arena.payload_mut(slot),
+                        );
+                        g.index.insert_new_dram(key, slot, batch);
+                        g.policy.on_insert(slot);
+                        out.extend_from_slice(&g.arena.payload(slot)[..dim]);
+                    } else {
+                        // Doorkeeper declined: initialize straight to
+                        // PMem; the cache stays clean of singletons.
+                        let mut payload = vec![0f32; self.cfg.payload_f32s()];
+                        init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, &mut payload);
+                        let slot = self.pool.alloc(cost);
+                        self.pool.write_slot(slot, key, batch, &payload, cost);
+                        g.index.insert_recovered(key, slot, batch);
+                        out.extend_from_slice(&payload[..dim]);
+                    }
+                    EngineStats::add(&self.stats.new_entries, 1);
+                    self.access_queue.push(key);
+                    EngineStats::add(&self.stats.pulls, 1);
+                    continue;
+                }
+            }
+            drop(guard);
+            self.access_queue.push(key);
+            EngineStats::add(&self.stats.pulls, 1);
+        }
+        if !self.cfg.enable_pipeline {
+            self.maintain_inline(batch, cost);
+        }
+    }
+
+    fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
+        if !self.cfg.enable_pipeline {
+            // Work already done inline during pull.
+            return MaintenanceReport::default();
+        }
+        let mut cost = Cost::new();
+        let (processed, commits) = self.run_maintenance(batch, &mut cost);
+        MaintenanceReport {
+            cost,
+            entries_processed: processed,
+            ckpt_commits: commits,
+        }
+    }
+
+    fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        assert_eq!(grads.len(), keys.len() * self.cfg.dim, "grad shape");
+        if !self.cfg.enable_cache {
+            self.push_uncached(keys, grads, batch, cost);
+            return;
+        }
+        let dim = self.cfg.dim;
+        for (i, &key) in keys.iter().enumerate() {
+            cost.charge(
+                CostKind::Cpu,
+                HASH_PROBE_NS + dim as u64 * OPT_FLOP_NS_PER_F32,
+            );
+            cost.charge(CostKind::DramTransfer, self.dram.write_ns((dim * 4) as u64));
+            let sid = self.shard_of(key);
+            let mut g = self.shards[sid].write();
+            let grad = &grads[i * dim..(i + 1) * dim];
+            // The entry may not be cached — evicted between maintenance
+            // and push when the cache is smaller than the batch working
+            // set, or never admitted by the doorkeeper. Apply the update
+            // in PMem directly (out-of-place RMW) in that case.
+            let loc = g.index.get(key).expect("pushed key must exist").loc;
+            let slot = match loc.as_dram() {
+                Some(s) => s,
+                None => {
+                    let pm_slot = loc.as_pmem().expect("tagged loc");
+                    let mut payload = vec![0f32; self.cfg.payload_f32s()];
+                    self.pool
+                        .read_slot(pm_slot, &mut payload, cost)
+                        .expect("indexed slot valid");
+                    self.opt.apply(dim, &mut payload, grad);
+                    let (boundaries, _, _) = self.boundaries();
+                    let Shard { index, .. } = &mut *g;
+                    let e = index.get_mut(key).expect("indexed");
+                    self.flush_payload(key, batch, &payload, &mut e.chain, &boundaries, cost);
+                    let (newest, _) = e.chain.newest().expect("just flushed");
+                    e.loc = TaggedLoc::pmem(newest);
+                    e.version = batch;
+                    EngineStats::add(&self.stats.pushes, 1);
+                    continue;
+                }
+            };
+            // Flush-before-update guard: if this entry's pre-update state
+            // may be needed by a pending checkpoint and is not yet
+            // persisted, flush first (normally maintenance already did).
+            let v = g.arena.version(slot);
+            let (boundaries, _, protect_max) = self.boundaries();
+            let Shard { index, arena, .. } = &mut *g;
+            let e = index.get_mut(key).expect("indexed");
+            if v <= protect_max && v < batch && arena.is_dirty(slot) {
+                self.flush_payload(key, v, arena.payload(slot), &mut e.chain, &boundaries, cost);
+            }
+            arena.set_version(slot, batch);
+            e.version = batch;
+            self.opt.apply(dim, arena.payload_mut(slot), grad);
+            arena.set_dirty(slot, true);
+            EngineStats::add(&self.stats.pushes, 1);
+        }
+    }
+
+    fn request_checkpoint(&self, batch: BatchId) -> Cost {
+        let mut cost = Cost::new();
+        cost.charge(CostKind::Cpu, 100);
+        let mut q = self.ckpt_pending.lock();
+        if q.back().is_some_and(|&b| b >= batch) {
+            return cost; // stale or duplicate request
+        }
+        if q.len() == MAX_PENDING_CKPTS {
+            q.pop_back();
+        }
+        q.push_back(batch);
+        cost
+    }
+
+    fn committed_checkpoint(&self) -> BatchId {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn read_weights(&self, key: Key) -> Option<Vec<f32>> {
+        let sid = self.shard_of(key);
+        let g = self.shards[sid].read();
+        let e = g.index.get(key)?;
+        let dim = self.cfg.dim;
+        if let Some(slot) = e.loc.as_dram() {
+            Some(g.arena.payload(slot)[..dim].to_vec())
+        } else {
+            let mut scratch = vec![0f32; self.cfg.payload_f32s()];
+            let mut cost = Cost::new();
+            self.pool
+                .read_slot(e.loc.as_pmem().unwrap(), &mut scratch, &mut cost)?;
+            scratch.truncate(dim);
+            Some(scratch)
+        }
+    }
+
+    fn num_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.read().index.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::OptimizerKind;
+
+    fn node(cache_entries: usize) -> PsNode {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        cfg.cache_bytes = cache_entries * cfg.bytes_per_cached_entry();
+        PsNode::new(cfg)
+    }
+
+    fn pull1(n: &PsNode, key: Key, batch: BatchId) -> Vec<f32> {
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        n.pull(&[key], batch, &mut out, &mut cost);
+        out
+    }
+
+    #[test]
+    fn pull_initializes_deterministically() {
+        let n = node(16);
+        let w1 = pull1(&n, 7, 1);
+        let w2 = pull1(&n, 7, 1);
+        assert_eq!(w1, w2);
+        assert_eq!(w1.len(), 4);
+        let other = pull1(&n, 8, 1);
+        assert_ne!(w1, other);
+        assert_eq!(n.num_keys(), 2);
+        assert_eq!(n.stats().new_entries, 1 + 1);
+        assert_eq!(n.stats().hits, 1, "second pull of key 7 hits cache");
+    }
+
+    #[test]
+    fn push_applies_gradient() {
+        let n = node(16);
+        let w = pull1(&n, 1, 1);
+        let mut cost = Cost::new();
+        n.end_pull_phase(1);
+        n.push(&[1], &[1.0, 2.0, 3.0, 4.0], 1, &mut cost);
+        let w2 = n.read_weights(1).unwrap();
+        for i in 0..4 {
+            assert!((w2[i] - (w[i] - (i as f32 + 1.0))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eviction_roundtrip_preserves_weights() {
+        // Cache of 2 entries, touch 5 keys: some must be evicted to PMem
+        // and read back identically.
+        let n = node(2);
+        let mut originals = Vec::new();
+        for k in 0..5u64 {
+            originals.push(pull1(&n, k, 1));
+        }
+        n.end_pull_phase(1);
+        for k in 0..5u64 {
+            let w = n.read_weights(k).expect("key known");
+            assert_eq!(w, originals[k as usize], "key {k}");
+        }
+        assert!(n.stats().evictions > 0);
+    }
+
+    #[test]
+    fn maintenance_moves_pmem_entries_back_to_dram() {
+        let n = node(2);
+        for k in 0..4u64 {
+            pull1(&n, k, 1);
+        }
+        n.end_pull_phase(1);
+        // Keys 0.. were partly evicted; pulling key 0 again misses,
+        // maintenance loads it back.
+        let before = n.stats().misses;
+        pull1(&n, 0, 2);
+        n.end_pull_phase(2);
+        assert!(n.stats().misses > before || n.stats().hits > 0);
+        let _ = pull1(&n, 0, 3);
+        // After maintenance of batch 2, key 0 is cached: pull 3 hits.
+        assert!(n.stats().hits >= 1);
+    }
+
+    #[test]
+    fn checkpoint_commits_within_one_maintenance() {
+        let n = node(16);
+        let mut cost = Cost::new();
+        pull1(&n, 1, 1);
+        n.end_pull_phase(1);
+        n.push(&[1], &[0.1; 4], 1, &mut cost);
+        let c = n.request_checkpoint(1);
+        assert!(c.total_ns() < 10_000, "request is near-free: {c}");
+        assert_eq!(n.committed_checkpoint(), 0);
+        pull1(&n, 1, 2);
+        let report = n.end_pull_phase(2);
+        assert_eq!(report.ckpt_commits, 1);
+        assert_eq!(n.committed_checkpoint(), 1);
+        assert_eq!(n.stats().ckpt_commits, 1);
+    }
+
+    #[test]
+    fn stale_checkpoint_requests_ignored() {
+        let n = node(16);
+        n.request_checkpoint(5);
+        n.request_checkpoint(5);
+        n.request_checkpoint(3);
+        assert_eq!(n.ckpt_pending.lock().len(), 1);
+    }
+
+    #[test]
+    fn pending_queue_bounded() {
+        let n = node(16);
+        for b in 1..=10 {
+            n.request_checkpoint(b);
+        }
+        assert!(n.ckpt_pending.lock().len() <= MAX_PENDING_CKPTS);
+        // Newest request is retained.
+        assert_eq!(n.ckpt_pending.lock().back().copied(), Some(10));
+    }
+
+    #[test]
+    fn uncached_mode_roundtrip() {
+        let mut cfg = NodeConfig::small(4);
+        cfg.enable_cache = false;
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        let n = PsNode::new(cfg);
+        let w = pull1(&n, 9, 1);
+        let mut cost = Cost::new();
+        n.push(&[9], &[1.0; 4], 1, &mut cost);
+        let w2 = n.read_weights(9).unwrap();
+        for i in 0..4 {
+            assert!((w2[i] - (w[i] - 1.0)).abs() < 1e-6);
+        }
+        assert_eq!(n.stats().misses, 0);
+        // Second pull is a PMem read.
+        pull1(&n, 9, 2);
+        assert_eq!(n.stats().misses, 1);
+        // Checkpoint commits at end_pull_phase.
+        n.request_checkpoint(2);
+        n.end_pull_phase(3);
+        assert_eq!(n.committed_checkpoint(), 2);
+    }
+
+    #[test]
+    fn non_pipelined_mode_charges_pull_path() {
+        let mut cfg = NodeConfig::small(4);
+        cfg.enable_pipeline = false;
+        cfg.cache_bytes = 2 * cfg.bytes_per_cached_entry();
+        let n = PsNode::new(cfg);
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        n.pull(&[1, 2, 3, 4], 1, &mut out, &mut cost);
+        // Maintenance ran inline: the report is empty.
+        let report = n.end_pull_phase(1);
+        assert_eq!(report.entries_processed, 0);
+        assert!(cost.ns(CostKind::Serialized) > 0);
+    }
+
+    #[test]
+    fn pipelined_pull_has_no_serialized_cost_after_warmup() {
+        let n = node(16);
+        pull1(&n, 1, 1);
+        n.end_pull_phase(1);
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        n.pull(&[1], 2, &mut out, &mut cost);
+        assert_eq!(
+            cost.ns(CostKind::Serialized),
+            0,
+            "steady-state pulls take only the read lock"
+        );
+    }
+
+    #[test]
+    fn concurrent_pulls_are_consistent() {
+        use std::sync::Arc;
+        let n = Arc::new(node(64));
+        // Warm 32 keys.
+        for k in 0..32u64 {
+            pull1(&n, k, 1);
+        }
+        n.end_pull_phase(1);
+        let expected: Vec<Vec<f32>> = (0..32u64).map(|k| n.read_weights(k).unwrap()).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    let mut cost = Cost::new();
+                    for round in 0..50 {
+                        out.clear();
+                        let keys: Vec<u64> = (0..32).collect();
+                        n.pull(&keys, 2 + round, &mut out, &mut cost);
+                        for (k, w) in expected.iter().enumerate() {
+                            assert_eq!(&out[k * 4..(k + 1) * 4], &w[..]);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

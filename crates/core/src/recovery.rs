@@ -1,0 +1,151 @@
+//! Failure recovery (paper §V-C / §VI-E).
+//!
+//! `PMem-OE` recovery: (1) scan all embedding slots in PMem, discarding
+//! versions newer than the Checkpointed Batch ID, (2) rebuild the DRAM
+//! hash index. Entries stay in PMem — no payload copy — which is why the
+//! paper measures 380 s vs 751–1513 s for checkpoint-file reload
+//! (Fig. 14). The DRAM cache starts cold.
+
+use crate::config::NodeConfig;
+use crate::node::PsNode;
+use crate::BatchId;
+use oe_pmem::scan::{recover as pmem_recover, ScanReport};
+use oe_simdevice::{Cost, Media};
+use std::sync::Arc;
+
+/// Outcome of a node recovery.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// The underlying pool scan outcome.
+    pub scan: ScanReport,
+    /// Batch id training resumes after (the committed checkpoint).
+    pub resume_batch: BatchId,
+}
+
+/// Recover a [`PsNode`] from crashed PMem media. Returns `None` if the
+/// media holds no initialized pool. The recovery cost (scan + index
+/// rebuild) is charged to `cost`.
+pub fn recover_node(
+    media: Arc<Media>,
+    cfg: NodeConfig,
+    cost: &mut Cost,
+) -> Option<(PsNode, RecoveryReport)> {
+    cfg.validate();
+    let (pool, scan) = pmem_recover(media, cost)?;
+    assert_eq!(
+        pool.payload_bytes(),
+        cfg.payload_bytes(),
+        "recovery config must match the pool layout (dim/optimizer)"
+    );
+    let node = PsNode::from_recovery(cfg, pool, &scan);
+    let resume_batch = scan.checkpoint_id;
+    Some((node, RecoveryReport { scan, resume_batch }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PsEngine;
+    use crate::optimizer::OptimizerKind;
+    use oe_simdevice::Media;
+
+    fn cfg() -> NodeConfig {
+        let mut c = NodeConfig::small(4);
+        c.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        c
+    }
+
+    fn train_step(n: &PsNode, keys: &[u64], batch: u64, grad: f32) {
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        n.pull(keys, batch, &mut out, &mut cost);
+        n.end_pull_phase(batch);
+        let grads = vec![grad; keys.len() * 4];
+        n.push(keys, &grads, batch, &mut cost);
+    }
+
+    #[test]
+    fn recover_restores_exact_checkpoint_state() {
+        let n = PsNode::new(cfg());
+        let keys: Vec<u64> = (0..20).collect();
+        // Batches 1..=3, checkpoint at 3.
+        for b in 1..=3 {
+            train_step(&n, &keys, b, 0.5);
+        }
+        n.request_checkpoint(3);
+        train_step(&n, &keys, 4, 0.5); // commits ckpt 3 during maintenance
+        assert_eq!(n.committed_checkpoint(), 3);
+        let expected: Vec<Vec<f32>> = {
+            // State at end of batch 3 = init - 3*0.5 per weight (SGD lr=1).
+            keys.iter()
+                .map(|&k| {
+                    (0..4)
+                        .map(|i| crate::init::init_weight(42, k, i, 0.01) - 1.5)
+                        .collect()
+                })
+                .collect()
+        };
+        // Keep training past the checkpoint, then crash.
+        train_step(&n, &keys, 5, 0.5);
+        let media = Arc::new(Media::from_crash(n.pool().media().crash(11)));
+        let mut cost = Cost::new();
+        let (r, report) = recover_node(media, cfg(), &mut cost).expect("recoverable");
+        assert_eq!(report.resume_batch, 3);
+        assert_eq!(r.num_keys(), 20);
+        for (i, &k) in keys.iter().enumerate() {
+            let w = r.read_weights(k).expect("recovered key");
+            for d in 0..4 {
+                assert!(
+                    (w[d] - expected[i][d]).abs() < 1e-5,
+                    "key {k} dim {d}: {} vs {}",
+                    w[d],
+                    expected[i][d]
+                );
+            }
+        }
+        assert!(cost.total_ns() > 0, "recovery charges time");
+    }
+
+    #[test]
+    fn recover_then_resume_training() {
+        let n = PsNode::new(cfg());
+        let keys: Vec<u64> = (0..8).collect();
+        train_step(&n, &keys, 1, 0.25);
+        n.request_checkpoint(1);
+        train_step(&n, &keys, 2, 0.25);
+        let media = Arc::new(Media::from_crash(n.pool().media().crash(5)));
+        let mut cost = Cost::new();
+        let (r, report) = recover_node(media, cfg(), &mut cost).unwrap();
+        // Resume from batch 2 (redo it), then continue.
+        for b in (report.resume_batch + 1)..=4 {
+            train_step(&r, &keys, b, 0.25);
+        }
+        r.request_checkpoint(4);
+        train_step(&r, &keys, 5, 0.25);
+        assert_eq!(r.committed_checkpoint(), 4);
+        // Final state: init - 5 * 0.25 (batches 1..=5 each applied once
+        // in the surviving timeline).
+        let w = r.read_weights(3).unwrap();
+        let expect = crate::init::init_weight(42, 3, 0, 0.01) - 1.25;
+        assert!((w[0] - expect).abs() < 1e-5, "{} vs {expect}", w[0]);
+    }
+
+    #[test]
+    fn uninitialized_media_is_unrecoverable() {
+        let media = Arc::new(Media::new(oe_simdevice::MediaConfig::pmem(1024)));
+        let mut cost = Cost::new();
+        assert!(recover_node(media, cfg(), &mut cost).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery config must match")]
+    fn mismatched_config_rejected() {
+        let n = PsNode::new(cfg());
+        train_step(&n, &[1], 1, 0.1);
+        let media = Arc::new(Media::from_crash(n.pool().media().crash(1)));
+        let mut wrong = cfg();
+        wrong.dim = 8;
+        let mut cost = Cost::new();
+        let _ = recover_node(media, wrong, &mut cost);
+    }
+}

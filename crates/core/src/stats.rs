@@ -1,0 +1,145 @@
+//! Engine statistics: lock-free counters sampled by the trainer and the
+//! figure harness (miss rates for Fig. 11, flush/commit counts for the
+//! checkpoint experiments).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters updated by the hot paths.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Keys served by pulls.
+    pub pulls: AtomicU64,
+    /// Pulls served from the DRAM cache.
+    pub hits: AtomicU64,
+    /// Pulls served from PMem.
+    pub misses: AtomicU64,
+    /// Brand-new entries initialized.
+    pub new_entries: AtomicU64,
+    /// Keys updated by pushes.
+    pub pushes: AtomicU64,
+    /// Cache evictions performed.
+    pub evictions: AtomicU64,
+    /// Entry flushes to PMem (write-backs, incl. checkpoint-motivated).
+    pub flushes: AtomicU64,
+    /// Entry loads from PMem into the cache.
+    pub loads: AtomicU64,
+    /// Checkpoints committed (CBI advanced).
+    pub ckpt_commits: AtomicU64,
+    /// Entries written by explicit checkpoint dumps (incremental baseline).
+    pub ckpt_entries_written: AtomicU64,
+    /// PMem slots recycled by version-chain pruning.
+    pub slots_recycled: AtomicU64,
+}
+
+/// Point-in-time copy of [`EngineStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StatsSnapshot {
+    /// Keys served by pulls.
+    pub pulls: u64,
+    /// Pulls served from the DRAM cache.
+    pub hits: u64,
+    /// Pulls served from PMem.
+    pub misses: u64,
+    /// Brand-new entries initialized.
+    pub new_entries: u64,
+    /// Keys updated by pushes.
+    pub pushes: u64,
+    /// Cache evictions performed.
+    pub evictions: u64,
+    /// Entry flushes to PMem.
+    pub flushes: u64,
+    /// Entry loads from PMem into the cache.
+    pub loads: u64,
+    /// Checkpoints committed.
+    pub ckpt_commits: u64,
+    /// Entries written by explicit checkpoint dumps.
+    pub ckpt_entries_written: u64,
+    /// PMem slots recycled by pruning.
+    pub slots_recycled: u64,
+}
+
+impl EngineStats {
+    /// Bump a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pulls: self.pulls.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            new_entries: self.new_entries.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            ckpt_commits: self.ckpt_commits.load(Ordering::Relaxed),
+            ckpt_entries_written: self.ckpt_entries_written.load(Ordering::Relaxed),
+            slots_recycled: self.slots_recycled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Cache miss rate over pulls of *known* entries (new-entry
+    /// initializations are not misses — nothing could have been cached).
+    pub fn miss_rate(&self) -> f64 {
+        let known = self.hits + self.misses;
+        if known == 0 {
+            0.0
+        } else {
+            self.misses as f64 / known as f64
+        }
+    }
+
+    /// Difference of two snapshots (for per-phase deltas).
+    pub fn delta_since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            pulls: self.pulls - base.pulls,
+            hits: self.hits - base.hits,
+            misses: self.misses - base.misses,
+            new_entries: self.new_entries - base.new_entries,
+            pushes: self.pushes - base.pushes,
+            evictions: self.evictions - base.evictions,
+            flushes: self.flushes - base.flushes,
+            loads: self.loads - base.loads,
+            ckpt_commits: self.ckpt_commits - base.ckpt_commits,
+            ckpt_entries_written: self.ckpt_entries_written - base.ckpt_entries_written,
+            slots_recycled: self.slots_recycled - base.slots_recycled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_miss_rate() {
+        let s = EngineStats::default();
+        EngineStats::add(&s.hits, 90);
+        EngineStats::add(&s.misses, 10);
+        EngineStats::add(&s.pulls, 100);
+        let snap = s.snapshot();
+        assert!((snap.miss_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_miss_rate_is_zero() {
+        assert_eq!(StatsSnapshot::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta() {
+        let s = EngineStats::default();
+        EngineStats::add(&s.flushes, 5);
+        let base = s.snapshot();
+        EngineStats::add(&s.flushes, 3);
+        let d = s.snapshot().delta_since(&base);
+        assert_eq!(d.flushes, 3);
+    }
+}

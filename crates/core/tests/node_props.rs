@@ -1,0 +1,121 @@
+//! Property tests over the PS node's operational envelope: arbitrary
+//! interleavings of pulls, pushes, maintenance, and checkpoint requests
+//! must preserve the node's structural invariants regardless of cache
+//! size, shard count, or policy.
+
+use oe_cache::{AdmissionKind, PolicyKind};
+use oe_core::engine::PsEngine;
+use oe_core::{NodeConfig, OptimizerKind, PsNode};
+use oe_simdevice::Cost;
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pull { keys: Vec<u64>, advance: bool },
+    Push { keys: Vec<u64> },
+    Maintain,
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let keys = prop::collection::vec(0u64..40, 1..12);
+    prop_oneof![
+        4 => (keys.clone(), prop::bool::ANY).prop_map(|(keys, advance)| Op::Pull { keys, advance }),
+        3 => keys.prop_map(|keys| Op::Push { keys }),
+        2 => Just(Op::Maintain),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+fn node_cfg(cache_entries: usize, shards: usize, policy: PolicyKind, adm: AdmissionKind) -> NodeConfig {
+    let mut cfg = NodeConfig::small(DIM);
+    cfg.optimizer = OptimizerKind::Sgd { lr: 0.1 };
+    cfg.cache_bytes = cache_entries * cfg.bytes_per_cached_entry();
+    cfg.shards = shards;
+    cfg.replacement = policy;
+    cfg.admission = adm;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariants under arbitrary op interleavings:
+    /// - every pulled key becomes readable and stays finite,
+    /// - num_keys only grows and equals the distinct pulled set,
+    /// - the committed checkpoint never exceeds the latest batch,
+    /// - stats counters are internally consistent.
+    #[test]
+    fn node_invariants_hold(
+        ops in prop::collection::vec(op_strategy(), 1..50),
+        cache_entries in 2usize..32,
+        shards in 1usize..4,
+        policy_pick in 0u8..3,
+        doorkeeper in prop::bool::ANY,
+    ) {
+        let policy = [PolicyKind::Lru, PolicyKind::Fifo, PolicyKind::Clock][policy_pick as usize];
+        let adm = if doorkeeper { AdmissionKind::SecondTouch } else { AdmissionKind::Always };
+        let node = PsNode::new(node_cfg(cache_entries, shards, policy, adm));
+
+        let mut batch = 1u64;
+        let mut known = std::collections::BTreeSet::new();
+        let mut pulled_this_batch: std::collections::BTreeSet<u64> = Default::default();
+        let mut cost = Cost::new();
+        let mut out = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Pull { mut keys, advance } => {
+                    keys.sort_unstable();
+                    keys.dedup();
+                    out.clear();
+                    node.pull(&keys, batch, &mut out, &mut cost);
+                    prop_assert_eq!(out.len(), keys.len() * DIM);
+                    prop_assert!(out.iter().all(|v| v.is_finite()));
+                    known.extend(keys.iter().copied());
+                    pulled_this_batch.extend(keys.iter().copied());
+                    if advance {
+                        node.end_pull_phase(batch);
+                        batch += 1;
+                        pulled_this_batch.clear();
+                    }
+                }
+                Op::Push { mut keys } => {
+                    keys.sort_unstable();
+                    keys.dedup();
+                    // Only push keys that exist (the engine contract).
+                    keys.retain(|k| known.contains(k));
+                    if keys.is_empty() {
+                        continue;
+                    }
+                    let grads = vec![0.01f32; keys.len() * DIM];
+                    node.push(&keys, &grads, batch, &mut cost);
+                }
+                Op::Maintain => {
+                    node.end_pull_phase(batch);
+                }
+                Op::Checkpoint => {
+                    // Synchronous checkpointing contract: request at a
+                    // batch boundary with the latest completed batch.
+                    node.end_pull_phase(batch);
+                    node.request_checkpoint(batch);
+                    batch += 1;
+                    pulled_this_batch.clear();
+                }
+            }
+            prop_assert_eq!(node.num_keys(), known.len());
+            prop_assert!(node.committed_checkpoint() <= batch);
+        }
+        // Final consistency: every known key is readable and finite.
+        for &k in &known {
+            let w = node.read_weights(k);
+            prop_assert!(w.is_some(), "key {} readable", k);
+            prop_assert!(w.unwrap().iter().all(|v| v.is_finite()));
+        }
+        let s = node.stats();
+        prop_assert!(s.hits + s.misses + s.new_entries == s.pulls,
+            "pull accounting: {} + {} + {} vs {}", s.hits, s.misses, s.new_entries, s.pulls);
+    }
+}

@@ -1,0 +1,301 @@
+//! The remote PS client: [`RemotePs`] implements
+//! [`oe_core::engine::PsEngine`] over a [`Transport`], so a trainer (or
+//! example, or test) can swap a local node for a server on the other
+//! side of a wire without any code change — the reproduction of the
+//! paper's TensorFlow operators (`PullWeights`, `PushGradients`, …)
+//! talking RPC to the backend PS (§V-C).
+//!
+//! Virtual-time accounting stays exact: server-side storage charges ride
+//! back inside each response and are merged into the caller's sink, and
+//! the client additionally charges `Net` time per frame byte using the
+//! paper's 30 Gb intranet model.
+
+use crate::codec::{Frame, Request, Response};
+use crate::transport::Transport;
+use oe_core::engine::{MaintenanceReport, PsEngine};
+use oe_core::stats::StatsSnapshot;
+use oe_core::{BatchId, Key};
+use oe_simdevice::{Cost, CostKind};
+use std::sync::Arc;
+
+/// Per-frame network cost model (client side).
+#[derive(Debug, Clone, Copy)]
+pub struct NetCharge {
+    /// Fixed RPC overhead per round trip (ns).
+    pub rpc_overhead_ns: u64,
+    /// Link bandwidth, bytes/ns.
+    pub bw_bytes_per_ns: f64,
+}
+
+impl NetCharge {
+    /// The paper's testbed: 30 Gb intranet, low-overhead RPC.
+    pub fn paper_default() -> Self {
+        Self {
+            rpc_overhead_ns: 15_000,
+            bw_bytes_per_ns: 3.75,
+        }
+    }
+
+    fn charge(&self, bytes: usize, cost: &mut Cost) {
+        cost.charge(
+            CostKind::Net,
+            self.rpc_overhead_ns + (bytes as f64 / self.bw_bytes_per_ns) as u64,
+        );
+    }
+}
+
+/// A PS engine on the far side of a transport.
+pub struct RemotePs {
+    transport: Arc<dyn Transport>,
+    net: NetCharge,
+    dim: usize,
+    name: &'static str,
+}
+
+impl RemotePs {
+    /// Connect: performs the `Hello` handshake to learn the engine's
+    /// dimension and identity. Panics if the server is unreachable or
+    /// speaks a different protocol — a remote PS you cannot reach is a
+    /// deployment error, not a recoverable condition for training.
+    pub fn connect(transport: Arc<dyn Transport>, net: NetCharge) -> Self {
+        let resp = Self::raw_call(&*transport, Request::Hello);
+        let Response::HelloOk { dim, name } = resp else {
+            panic!("handshake failed: unexpected response {resp:?}");
+        };
+        // Engine names are a small closed set; leak once for &'static.
+        let name: &'static str = Box::leak(name.into_boxed_str());
+        Self {
+            transport,
+            net,
+            dim: dim as usize,
+            name,
+        }
+    }
+
+    fn raw_call(transport: &dyn Transport, req: Request) -> Response {
+        let frame = Frame::Request(req).encode();
+        let reply = transport.call(frame).expect("PS server unreachable");
+        match Frame::decode(reply).expect("malformed server response") {
+            Frame::Response(r) => r,
+            Frame::Request(_) => panic!("server sent a request"),
+        }
+    }
+
+    /// One RPC with network-cost charging on both directions.
+    fn call(&self, req: Request, cost: &mut Cost) -> Response {
+        let frame = Frame::Request(req).encode();
+        let req_bytes = frame.len();
+        let reply = self.transport.call(frame).expect("PS server unreachable");
+        self.net.charge(req_bytes + reply.len(), cost);
+        match Frame::decode(reply).expect("malformed server response") {
+            Frame::Response(r) => r,
+            Frame::Request(_) => panic!("server sent a request"),
+        }
+    }
+}
+
+impl PsEngine for RemotePs {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+        let resp = self.call(
+            Request::Pull {
+                batch,
+                keys: keys.to_vec(),
+            },
+            cost,
+        );
+        match resp {
+            Response::Weights { weights, cost: c } => {
+                cost.merge(&c);
+                out.extend_from_slice(&weights);
+            }
+            other => panic!("pull: unexpected {other:?}"),
+        }
+    }
+
+    fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
+        let mut net_cost = Cost::new();
+        let resp = self.call(Request::EndPullPhase { batch }, &mut net_cost);
+        match resp {
+            Response::Maintenance {
+                entries,
+                commits,
+                cost: mut c,
+            } => {
+                c.merge(&net_cost);
+                MaintenanceReport {
+                    cost: c,
+                    entries_processed: entries,
+                    ckpt_commits: commits,
+                }
+            }
+            other => panic!("end_pull_phase: unexpected {other:?}"),
+        }
+    }
+
+    fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        let resp = self.call(
+            Request::Push {
+                batch,
+                keys: keys.to_vec(),
+                grads: grads.to_vec(),
+            },
+            cost,
+        );
+        match resp {
+            Response::Ack { cost: c } => cost.merge(&c),
+            other => panic!("push: unexpected {other:?}"),
+        }
+    }
+
+    fn request_checkpoint(&self, batch: BatchId) -> Cost {
+        let mut cost = Cost::new();
+        match self.call(Request::Checkpoint { batch }, &mut cost) {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                cost
+            }
+            other => panic!("checkpoint: unexpected {other:?}"),
+        }
+    }
+
+    fn committed_checkpoint(&self) -> BatchId {
+        match Self::raw_call(&*self.transport, Request::Committed) {
+            Response::Committed { batch } => batch,
+            other => panic!("committed: unexpected {other:?}"),
+        }
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        match Self::raw_call(&*self.transport, Request::Stats) {
+            Response::Stats(s) => s,
+            other => panic!("stats: unexpected {other:?}"),
+        }
+    }
+
+    fn read_weights(&self, key: Key) -> Option<Vec<f32>> {
+        match Self::raw_call(&*self.transport, Request::ReadWeights { key }) {
+            Response::MaybeWeights(w) => w,
+            other => panic!("read_weights: unexpected {other:?}"),
+        }
+    }
+
+    fn num_keys(&self) -> usize {
+        match Self::raw_call(&*self.transport, Request::NumKeys) {
+            Response::Count(n) => n as usize,
+            other => panic!("num_keys: unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::PsServer;
+    use crate::transport::loopback;
+    use oe_core::{NodeConfig, OptimizerKind, PsNode};
+
+    fn remote_node() -> (RemotePs, crate::server::ServerHandle) {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        let engine: Arc<dyn PsEngine> = Arc::new(PsNode::new(cfg));
+        let (client_t, server_t) = loopback(32);
+        let handle = PsServer::spawn(engine, server_t, 4);
+        let remote = RemotePs::connect(Arc::new(client_t), NetCharge::paper_default());
+        (remote, handle)
+    }
+
+    #[test]
+    fn handshake_learns_identity() {
+        let (remote, _h) = remote_node();
+        assert_eq!(remote.dim(), 4);
+        assert_eq!(remote.name(), "PMem-OE");
+    }
+
+    #[test]
+    fn remote_training_step_matches_local() {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        let local = PsNode::new(cfg);
+        let (remote, _h) = remote_node();
+
+        let keys = [1u64, 2, 3];
+        let mut lw = Vec::new();
+        let mut rw = Vec::new();
+        let mut lc = Cost::new();
+        let mut rc = Cost::new();
+        local.pull(&keys, 1, &mut lw, &mut lc);
+        remote.pull(&keys, 1, &mut rw, &mut rc);
+        assert_eq!(lw, rw, "identical init over the wire");
+        assert!(rc.ns(CostKind::Net) > 0, "network time charged");
+        assert!(
+            rc.ns(CostKind::DramTransfer) >= lc.ns(CostKind::DramTransfer),
+            "server-side charges merged back"
+        );
+
+        local.end_pull_phase(1);
+        remote.end_pull_phase(1);
+        let grads = vec![0.5f32; 12];
+        local.push(&keys, &grads, 1, &mut lc);
+        remote.push(&keys, &grads, 1, &mut rc);
+        for &k in &keys {
+            assert_eq!(local.read_weights(k), remote.read_weights(k));
+        }
+    }
+
+    #[test]
+    fn remote_checkpoint_commits() {
+        let (remote, _h) = remote_node();
+        let keys = [7u64];
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        remote.pull(&keys, 1, &mut out, &mut cost);
+        remote.end_pull_phase(1);
+        remote.push(&keys, &[0.1; 4], 1, &mut cost);
+        remote.request_checkpoint(1);
+        remote.pull(&keys, 2, &mut out, &mut cost);
+        remote.end_pull_phase(2);
+        assert_eq!(remote.committed_checkpoint(), 1);
+        assert_eq!(remote.num_keys(), 1);
+        assert!(remote.stats().pulls >= 2);
+    }
+
+    #[test]
+    fn concurrent_remote_workers() {
+        let (remote, _h) = remote_node();
+        let remote = Arc::new(remote);
+        // Warm keys.
+        let keys: Vec<u64> = (0..64).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        remote.pull(&keys, 1, &mut out, &mut cost);
+        remote.end_pull_phase(1);
+        let expected = out.clone();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&remote);
+                let keys = keys.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    let mut cost = Cost::new();
+                    for b in 2..12 {
+                        out.clear();
+                        r.pull(&keys, b, &mut out, &mut cost);
+                        assert_eq!(out, expected);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Binary wire format for parameter-server RPC.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! ┌───────┬─────────┬──────────┬──────────┬─────────────┐
+//! │ magic │ version │ msg type │ body len │ body bytes  │
+//! │ u16   │ u8      │ u8       │ u32      │ …           │
+//! └───────┴─────────┴──────────┴──────────┴─────────────┘
+//! ```
+//!
+//! Bodies use length-prefixed vectors (`u32` count) of little-endian
+//! scalars. Virtual-time [`Cost`]s cross the wire as their raw
+//! (ns, ops) arrays so the client can merge server-side charges into
+//! its own accounting.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use oe_core::stats::StatsSnapshot;
+use oe_core::{BatchId, Key};
+use oe_simdevice::Cost;
+
+/// Frame magic ("OE").
+pub const MAGIC: u16 = 0x4F45;
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame too short / truncated body.
+    Truncated,
+    /// Wrong magic or protocol version.
+    BadHeader,
+    /// Unknown message discriminant.
+    UnknownType(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadHeader => write!(f, "bad magic/version"),
+            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A decoded frame: message type + body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server.
+    Request(Request),
+    /// Server → client.
+    Response(Response),
+}
+
+/// Client-to-server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Embedding lookup burst.
+    Pull {
+        /// Batch about to train.
+        batch: BatchId,
+        /// Keys to fetch.
+        keys: Vec<Key>,
+    },
+    /// Gradient burst (pre-aggregated per key).
+    Push {
+        /// Batch that produced the gradients.
+        batch: BatchId,
+        /// Updated keys.
+        keys: Vec<Key>,
+        /// `keys.len() × dim` gradient values.
+        grads: Vec<f32>,
+    },
+    /// All pulls for `batch` done: run deferred maintenance.
+    EndPullPhase {
+        /// Completed pull batch.
+        batch: BatchId,
+    },
+    /// Request a checkpoint up to `batch`.
+    Checkpoint {
+        /// Latest completed batch.
+        batch: BatchId,
+    },
+    /// Read the committed checkpoint id.
+    Committed,
+    /// Read engine counters.
+    Stats,
+    /// Read one key's weights (diagnostics).
+    ReadWeights {
+        /// Key to read.
+        key: Key,
+    },
+    /// Number of known keys.
+    NumKeys,
+    /// Embedding dimension + engine name probe.
+    Hello,
+}
+
+/// Server-to-client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Pull result.
+    Weights {
+        /// `keys × dim` weights in request order.
+        weights: Vec<f32>,
+        /// Server-side virtual-time charges.
+        cost: Cost,
+    },
+    /// Push/checkpoint acknowledgement.
+    Ack {
+        /// Server-side virtual-time charges.
+        cost: Cost,
+    },
+    /// Maintenance outcome.
+    Maintenance {
+        /// Access-queue records processed.
+        entries: u64,
+        /// Checkpoints committed.
+        commits: u64,
+        /// Deferred-work cost (overlappable).
+        cost: Cost,
+    },
+    /// Committed checkpoint id.
+    Committed {
+        /// Batch id.
+        batch: BatchId,
+    },
+    /// Counter snapshot.
+    Stats(StatsSnapshot),
+    /// Weights of one key, if known.
+    MaybeWeights(Option<Vec<f32>>),
+    /// A count.
+    Count(u64),
+    /// Hello reply.
+    HelloOk {
+        /// Embedding dimension served.
+        dim: u32,
+        /// Engine name.
+        name: String,
+    },
+}
+
+// --- primitive helpers -------------------------------------------------
+
+fn put_u64s(buf: &mut BytesMut, vals: &[u64]) {
+    buf.put_u32_le(vals.len() as u32);
+    for &v in vals {
+        buf.put_u64_le(v);
+    }
+}
+
+fn put_f32s(buf: &mut BytesMut, vals: &[f32]) {
+    buf.put_u32_le(vals.len() as u32);
+    for &v in vals {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_u64s(buf: &mut Bytes) -> Result<Vec<u64>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_u64_le()).collect())
+}
+
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+fn put_cost(buf: &mut BytesMut, cost: &Cost) {
+    let (ns, ops) = cost.raw_parts();
+    for v in ns {
+        buf.put_u64_le(v);
+    }
+    for v in ops {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_cost(buf: &mut Bytes) -> Result<Cost, CodecError> {
+    if buf.remaining() < 14 * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut ns = [0u64; 7];
+    let mut ops = [0u64; 7];
+    for v in &mut ns {
+        *v = buf.get_u64_le();
+    }
+    for v in &mut ops {
+        *v = buf.get_u64_le();
+    }
+    Ok(Cost::from_raw_parts(ns, ops))
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+// --- frame encode/decode ------------------------------------------------
+
+impl Frame {
+    fn msg_type(&self) -> u8 {
+        match self {
+            Frame::Request(r) => match r {
+                Request::Pull { .. } => 0x01,
+                Request::Push { .. } => 0x02,
+                Request::EndPullPhase { .. } => 0x03,
+                Request::Checkpoint { .. } => 0x04,
+                Request::Committed => 0x05,
+                Request::Stats => 0x06,
+                Request::ReadWeights { .. } => 0x07,
+                Request::NumKeys => 0x08,
+                Request::Hello => 0x09,
+            },
+            Frame::Response(r) => match r {
+                Response::Weights { .. } => 0x81,
+                Response::Ack { .. } => 0x82,
+                Response::Maintenance { .. } => 0x83,
+                Response::Committed { .. } => 0x84,
+                Response::Stats(_) => 0x85,
+                Response::MaybeWeights(_) => 0x86,
+                Response::Count(_) => 0x87,
+                Response::HelloOk { .. } => 0x88,
+            },
+        }
+    }
+
+    /// Serialize to a wire frame.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(64);
+        match self {
+            Frame::Request(r) => match r {
+                Request::Pull { batch, keys } => {
+                    body.put_u64_le(*batch);
+                    put_u64s(&mut body, keys);
+                }
+                Request::Push { batch, keys, grads } => {
+                    body.put_u64_le(*batch);
+                    put_u64s(&mut body, keys);
+                    put_f32s(&mut body, grads);
+                }
+                Request::EndPullPhase { batch } | Request::Checkpoint { batch } => {
+                    body.put_u64_le(*batch);
+                }
+                Request::ReadWeights { key } => body.put_u64_le(*key),
+                Request::Committed | Request::Stats | Request::NumKeys | Request::Hello => {}
+            },
+            Frame::Response(r) => match r {
+                Response::Weights { weights, cost } => {
+                    put_f32s(&mut body, weights);
+                    put_cost(&mut body, cost);
+                }
+                Response::Ack { cost } => put_cost(&mut body, cost),
+                Response::Maintenance {
+                    entries,
+                    commits,
+                    cost,
+                } => {
+                    body.put_u64_le(*entries);
+                    body.put_u64_le(*commits);
+                    put_cost(&mut body, cost);
+                }
+                Response::Committed { batch } => body.put_u64_le(*batch),
+                Response::Stats(s) => {
+                    for v in [
+                        s.pulls,
+                        s.hits,
+                        s.misses,
+                        s.new_entries,
+                        s.pushes,
+                        s.evictions,
+                        s.flushes,
+                        s.loads,
+                        s.ckpt_commits,
+                        s.ckpt_entries_written,
+                        s.slots_recycled,
+                    ] {
+                        body.put_u64_le(v);
+                    }
+                }
+                Response::MaybeWeights(w) => match w {
+                    Some(w) => {
+                        body.put_u8(1);
+                        put_f32s(&mut body, w);
+                    }
+                    None => body.put_u8(0),
+                },
+                Response::Count(n) => body.put_u64_le(*n),
+                Response::HelloOk { dim, name } => {
+                    body.put_u32_le(*dim);
+                    body.put_u32_le(name.len() as u32);
+                    body.put_slice(name.as_bytes());
+                }
+            },
+        }
+        let mut frame = BytesMut::with_capacity(8 + body.len());
+        frame.put_u16_le(MAGIC);
+        frame.put_u8(VERSION);
+        frame.put_u8(self.msg_type());
+        frame.put_u32_le(body.len() as u32);
+        frame.extend_from_slice(&body);
+        frame.freeze()
+    }
+
+    /// Parse a wire frame.
+    pub fn decode(mut buf: Bytes) -> Result<Frame, CodecError> {
+        if buf.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        if buf.get_u16_le() != MAGIC || buf.get_u8() != VERSION {
+            return Err(CodecError::BadHeader);
+        }
+        let msg_type = buf.get_u8();
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(CodecError::Truncated);
+        }
+        let mut body = buf.split_to(len);
+        let frame = match msg_type {
+            0x01 => Frame::Request(Request::Pull {
+                batch: get_u64(&mut body)?,
+                keys: get_u64s(&mut body)?,
+            }),
+            0x02 => Frame::Request(Request::Push {
+                batch: get_u64(&mut body)?,
+                keys: get_u64s(&mut body)?,
+                grads: get_f32s(&mut body)?,
+            }),
+            0x03 => Frame::Request(Request::EndPullPhase {
+                batch: get_u64(&mut body)?,
+            }),
+            0x04 => Frame::Request(Request::Checkpoint {
+                batch: get_u64(&mut body)?,
+            }),
+            0x05 => Frame::Request(Request::Committed),
+            0x06 => Frame::Request(Request::Stats),
+            0x07 => Frame::Request(Request::ReadWeights {
+                key: get_u64(&mut body)?,
+            }),
+            0x08 => Frame::Request(Request::NumKeys),
+            0x09 => Frame::Request(Request::Hello),
+            0x81 => Frame::Response(Response::Weights {
+                weights: get_f32s(&mut body)?,
+                cost: get_cost(&mut body)?,
+            }),
+            0x82 => Frame::Response(Response::Ack {
+                cost: get_cost(&mut body)?,
+            }),
+            0x83 => Frame::Response(Response::Maintenance {
+                entries: get_u64(&mut body)?,
+                commits: get_u64(&mut body)?,
+                cost: get_cost(&mut body)?,
+            }),
+            0x84 => Frame::Response(Response::Committed {
+                batch: get_u64(&mut body)?,
+            }),
+            0x85 => {
+                let mut vals = [0u64; 11];
+                for v in &mut vals {
+                    *v = get_u64(&mut body)?;
+                }
+                Frame::Response(Response::Stats(StatsSnapshot {
+                    pulls: vals[0],
+                    hits: vals[1],
+                    misses: vals[2],
+                    new_entries: vals[3],
+                    pushes: vals[4],
+                    evictions: vals[5],
+                    flushes: vals[6],
+                    loads: vals[7],
+                    ckpt_commits: vals[8],
+                    ckpt_entries_written: vals[9],
+                    slots_recycled: vals[10],
+                }))
+            }
+            0x86 => {
+                if body.remaining() < 1 {
+                    return Err(CodecError::Truncated);
+                }
+                let present = body.get_u8() == 1;
+                Frame::Response(Response::MaybeWeights(if present {
+                    Some(get_f32s(&mut body)?)
+                } else {
+                    None
+                }))
+            }
+            0x87 => Frame::Response(Response::Count(get_u64(&mut body)?)),
+            0x88 => {
+                if body.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let dim = body.get_u32_le();
+                let n = body.get_u32_le() as usize;
+                if body.remaining() < n {
+                    return Err(CodecError::Truncated);
+                }
+                let name = String::from_utf8_lossy(&body.copy_to_bytes(n)).into_owned();
+                Frame::Response(Response::HelloOk { dim, name })
+            }
+            other => return Err(CodecError::UnknownType(other)),
+        };
+        Ok(frame)
+    }
+
+    /// Wire size of the encoded frame (for network-cost charging).
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_simdevice::CostKind;
+
+    fn roundtrip(f: Frame) {
+        let enc = Frame::encode(&f);
+        let dec = Frame::decode(enc).expect("decodes");
+        assert_eq!(dec, f);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip(Frame::Request(Request::Pull {
+            batch: 7,
+            keys: vec![1, 2, u64::MAX],
+        }));
+        roundtrip(Frame::Request(Request::Push {
+            batch: 9,
+            keys: vec![3],
+            grads: vec![0.5, -1.25, f32::MIN_POSITIVE, 0.0],
+        }));
+        roundtrip(Frame::Request(Request::EndPullPhase { batch: 1 }));
+        roundtrip(Frame::Request(Request::Checkpoint { batch: 4 }));
+        roundtrip(Frame::Request(Request::Committed));
+        roundtrip(Frame::Request(Request::Stats));
+        roundtrip(Frame::Request(Request::ReadWeights { key: 42 }));
+        roundtrip(Frame::Request(Request::NumKeys));
+        roundtrip(Frame::Request(Request::Hello));
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let mut cost = Cost::new();
+        cost.charge(CostKind::PmemRead, 305);
+        cost.charge(CostKind::Cpu, 45);
+        roundtrip(Frame::Response(Response::Weights {
+            weights: vec![1.0, 2.5],
+            cost: cost.clone(),
+        }));
+        roundtrip(Frame::Response(Response::Ack { cost: cost.clone() }));
+        roundtrip(Frame::Response(Response::Maintenance {
+            entries: 100,
+            commits: 1,
+            cost,
+        }));
+        roundtrip(Frame::Response(Response::Committed { batch: 3 }));
+        roundtrip(Frame::Response(Response::Stats(StatsSnapshot {
+            pulls: 1,
+            hits: 2,
+            misses: 3,
+            new_entries: 4,
+            pushes: 5,
+            evictions: 6,
+            flushes: 7,
+            loads: 8,
+            ckpt_commits: 9,
+            ckpt_entries_written: 10,
+            slots_recycled: 11,
+        })));
+        roundtrip(Frame::Response(Response::MaybeWeights(Some(vec![9.0]))));
+        roundtrip(Frame::Response(Response::MaybeWeights(None)));
+        roundtrip(Frame::Response(Response::Count(77)));
+        roundtrip(Frame::Response(Response::HelloOk {
+            dim: 64,
+            name: "PMem-OE".into(),
+        }));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let mut enc = BytesMut::from(&Frame::Request(Request::Hello).encode()[..]);
+        enc[0] = 0; // corrupt magic
+        assert_eq!(Frame::decode(enc.freeze()), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let enc = Frame::Request(Request::Pull {
+            batch: 1,
+            keys: vec![1, 2, 3],
+        })
+        .encode();
+        for cut in [0, 4, 8, enc.len() - 1] {
+            let t = enc.slice(0..cut);
+            assert!(Frame::decode(t).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut enc = BytesMut::from(&Frame::Request(Request::Hello).encode()[..]);
+        enc[3] = 0x7F;
+        assert_eq!(
+            Frame::decode(enc.freeze()),
+            Err(CodecError::UnknownType(0x7F))
+        );
+    }
+
+    #[test]
+    fn cost_survives_the_wire_exactly() {
+        let mut cost = Cost::new();
+        cost.charge(CostKind::Serialized, 123);
+        cost.charge(CostKind::Net, 456);
+        cost.charge(CostKind::Net, 1);
+        let f = Frame::Response(Response::Ack { cost: cost.clone() });
+        let Frame::Response(Response::Ack { cost: back }) = Frame::decode(f.encode()).unwrap()
+        else {
+            panic!("wrong frame");
+        };
+        assert_eq!(back, cost);
+        assert_eq!(back.ops(CostKind::Net), 2);
+    }
+}

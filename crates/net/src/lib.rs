@@ -1,0 +1,33 @@
+//! # oe-net
+//!
+//! The message-passing substrate of the distributed parameter server.
+//!
+//! The paper's system ships TensorFlow operators that talk to the PS
+//! nodes over a low-overhead RPC (RDMA where available, §V-C). This
+//! crate provides the equivalent layer for the reproduction:
+//!
+//! - [`codec`] — a compact binary wire format for every PS message
+//!   (pull, push, checkpoint, stats, weight reads), with explicit
+//!   framing and versioning;
+//! - [`transport`] — a [`transport::Transport`] abstraction with an
+//!   in-process loopback implementation (bounded channels carrying
+//!   frames), standing in for the testbed's 30 Gb intranet the way the
+//!   simulated media stands in for Optane;
+//! - [`server`] — a multi-threaded PS server event loop serving any
+//!   [`oe_core::engine::PsEngine`];
+//! - [`client`] — [`client::RemotePs`], which implements `PsEngine`
+//!   *over the wire*, so the trainer, examples, and tests can swap a
+//!   local node for a remote one without code changes. Virtual-time
+//!   costs charged on the server are carried back in the response and
+//!   merged into the caller's cost sink, keeping the discrete-event
+//!   accounting exact across the network boundary.
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod transport;
+
+pub use client::RemotePs;
+pub use codec::{Frame, Request, Response};
+pub use server::{PsServer, ServerHandle};
+pub use transport::{loopback, ClientTransport, Transport};

@@ -1,0 +1,234 @@
+//! The framework-integration surface: an embedding layer over any PS
+//! engine, mirroring the paper's TensorFlow/Keras operators
+//! (`PullWeights`, `PushGradients`, `UpdateWeights`, §V-C).
+//!
+//! A training framework sees three moments per batch:
+//!
+//! ```text
+//! let act  = layer.forward(batch_id, &batch_keys, &mut cost); // PullWeights
+//! /* … model forward/backward produces d_emb … */
+//! layer.backward(act, &d_emb, &mut cost);                     // PushGradients
+//! ```
+//!
+//! The layer deduplicates keys per batch, gathers per-sample embedding
+//! tensors from the pulled unique weights, scatter-adds the per-sample
+//! gradients back per key, and triggers the pipelined maintenance at the
+//! pull/compute boundary — all the glue a Keras `Embedding` subclass
+//! needs, framework-agnostic.
+
+use oe_core::engine::PsEngine;
+use oe_core::{BatchId, Key};
+use oe_simdevice::Cost;
+
+/// The activation produced by [`EmbeddingLayer::forward`]: per-sample
+/// embedding tensors plus the bookkeeping needed to route gradients back.
+pub struct EmbeddingActivation {
+    /// Batch these activations belong to.
+    pub batch: BatchId,
+    /// Deduplicated, sorted keys pulled from the PS.
+    pub unique_keys: Vec<Key>,
+    /// Pulled weights, `unique_keys.len() × dim`.
+    pub unique_weights: Vec<f32>,
+    /// Gathered tensor: `samples × fields × dim`.
+    pub embeddings: Vec<f32>,
+    /// For each (sample, field): index into `unique_keys`.
+    gather: Vec<u32>,
+    fields: usize,
+    dim: usize,
+}
+
+impl EmbeddingActivation {
+    /// Embedding tensor of one sample (`fields × dim`).
+    pub fn sample(&self, i: usize) -> &[f32] {
+        let w = self.fields * self.dim;
+        &self.embeddings[i * w..(i + 1) * w]
+    }
+
+    /// Number of samples gathered.
+    pub fn samples(&self) -> usize {
+        self.gather.len() / self.fields.max(1)
+    }
+}
+
+/// An embedding layer bound to a PS engine.
+pub struct EmbeddingLayer<'e> {
+    engine: &'e dyn PsEngine,
+    fields: usize,
+    dim: usize,
+}
+
+impl<'e> EmbeddingLayer<'e> {
+    /// A layer of `fields` sparse features over `engine`.
+    pub fn new(engine: &'e dyn PsEngine, fields: usize) -> Self {
+        Self {
+            dim: engine.dim(),
+            engine,
+            fields,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// PullWeights + gather: fetch this batch's embeddings. Each sample
+    /// contributes `fields` keys. Also runs the engine's deferred
+    /// maintenance (the pipeline boundary) so the activation is ready to
+    /// train on.
+    pub fn forward(
+        &self,
+        batch: BatchId,
+        sample_keys: &[Vec<Key>],
+        cost: &mut Cost,
+    ) -> EmbeddingActivation {
+        let mut unique_keys: Vec<Key> = sample_keys.iter().flatten().copied().collect();
+        unique_keys.sort_unstable();
+        unique_keys.dedup();
+
+        let mut unique_weights = Vec::with_capacity(unique_keys.len() * self.dim);
+        self.engine
+            .pull(&unique_keys, batch, &mut unique_weights, cost);
+        self.engine.end_pull_phase(batch);
+
+        let mut gather = Vec::with_capacity(sample_keys.len() * self.fields);
+        let mut embeddings = Vec::with_capacity(sample_keys.len() * self.fields * self.dim);
+        for keys in sample_keys {
+            assert_eq!(keys.len(), self.fields, "fields per sample");
+            for k in keys {
+                let idx = unique_keys.binary_search(k).expect("key pulled") as u32;
+                gather.push(idx);
+                let s = idx as usize * self.dim;
+                embeddings.extend_from_slice(&unique_weights[s..s + self.dim]);
+            }
+        }
+        EmbeddingActivation {
+            batch,
+            unique_keys,
+            unique_weights,
+            embeddings,
+            gather,
+            fields: self.fields,
+            dim: self.dim,
+        }
+    }
+
+    /// PushGradients: scatter-add per-sample embedding gradients
+    /// (`samples × fields × dim`, matching [`EmbeddingActivation::embeddings`])
+    /// back per unique key and push to the PS, which applies its
+    /// optimizer (UpdateWeights).
+    pub fn backward(&self, act: &EmbeddingActivation, d_embeddings: &[f32], cost: &mut Cost) {
+        assert_eq!(
+            d_embeddings.len(),
+            act.embeddings.len(),
+            "gradient tensor shape"
+        );
+        let mut grads = vec![0.0f32; act.unique_keys.len() * self.dim];
+        for (pos, &idx) in act.gather.iter().enumerate() {
+            let src = pos * self.dim;
+            let dst = idx as usize * self.dim;
+            for d in 0..self.dim {
+                grads[dst + d] += d_embeddings[src + d];
+            }
+        }
+        self.engine.push(&act.unique_keys, &grads, act.batch, cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_core::{NodeConfig, OptimizerKind, PsNode};
+
+    const DIM: usize = 4;
+
+    fn node() -> PsNode {
+        let mut cfg = NodeConfig::small(DIM);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        PsNode::new(cfg)
+    }
+
+    #[test]
+    fn forward_gathers_per_sample() {
+        let n = node();
+        let layer = EmbeddingLayer::new(&n, 2);
+        let samples = vec![vec![5u64, 9], vec![9, 5]];
+        let mut cost = Cost::new();
+        let act = layer.forward(1, &samples, &mut cost);
+        assert_eq!(act.unique_keys, vec![5, 9]);
+        assert_eq!(act.samples(), 2);
+        // Sample 0 = [emb5, emb9]; sample 1 = [emb9, emb5].
+        let e5 = &act.unique_weights[0..DIM];
+        let e9 = &act.unique_weights[DIM..2 * DIM];
+        assert_eq!(&act.sample(0)[..DIM], e5);
+        assert_eq!(&act.sample(0)[DIM..], e9);
+        assert_eq!(&act.sample(1)[..DIM], e9);
+        assert_eq!(&act.sample(1)[DIM..], e5);
+    }
+
+    #[test]
+    fn backward_aggregates_duplicate_keys() {
+        let n = node();
+        let layer = EmbeddingLayer::new(&n, 2);
+        // Key 7 appears in both samples: its gradients must sum.
+        let samples = vec![vec![7u64, 1], vec![7, 2]];
+        let mut cost = Cost::new();
+        let act = layer.forward(1, &samples, &mut cost);
+        let before7 = n.read_weights(7).unwrap();
+        // d_emb: 1.0 for key 7 in sample 0, 2.0 for key 7 in sample 1,
+        // zeros elsewhere.
+        let mut d = vec![0.0f32; act.embeddings.len()];
+        d[0..DIM].copy_from_slice(&[1.0; DIM]); // sample 0 field 0 (key 7)
+        d[2 * DIM..3 * DIM].copy_from_slice(&[2.0; DIM]); // sample 1 field 0 (key 7)
+        layer.backward(&act, &d, &mut cost);
+        let after7 = n.read_weights(7).unwrap();
+        for i in 0..DIM {
+            assert!(
+                (after7[i] - (before7[i] - 3.0)).abs() < 1e-6,
+                "SGD lr=1 applied the summed gradient once"
+            );
+        }
+        // Untouched-gradient keys moved by zero.
+        assert_eq!(n.read_weights(1).unwrap(), {
+            let act_idx = act.unique_keys.binary_search(&1).unwrap();
+            act.unique_weights[act_idx * DIM..(act_idx + 1) * DIM].to_vec()
+        });
+    }
+
+    #[test]
+    fn layer_matches_manual_engine_calls() {
+        // The layer is pure glue: a manual pull/push sequence with the
+        // same aggregation must produce identical weights.
+        let n1 = node();
+        let n2 = node();
+        let layer = EmbeddingLayer::new(&n1, 2);
+        let samples = vec![vec![1u64, 2], vec![2, 3]];
+        let mut cost = Cost::new();
+        let act = layer.forward(1, &samples, &mut cost);
+        let d = vec![0.5f32; act.embeddings.len()];
+        layer.backward(&act, &d, &mut cost);
+
+        // Manual: unique keys [1,2,3]; key 2 referenced twice → grad 1.0.
+        let keys = [1u64, 2, 3];
+        let mut out = Vec::new();
+        n2.pull(&keys, 1, &mut out, &mut cost);
+        n2.end_pull_phase(1);
+        let mut grads = vec![0.5f32; 3 * DIM];
+        for d in 0..DIM {
+            grads[DIM + d] = 1.0;
+        }
+        n2.push(&keys, &grads, 1, &mut cost);
+        for k in 1..=3u64 {
+            assert_eq!(n1.read_weights(k), n2.read_weights(k), "key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fields per sample")]
+    fn wrong_field_count_panics() {
+        let n = node();
+        let layer = EmbeddingLayer::new(&n, 3);
+        let mut cost = Cost::new();
+        layer.forward(1, &[vec![1, 2]], &mut cost);
+    }
+}

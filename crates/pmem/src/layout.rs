@@ -1,0 +1,174 @@
+//! On-media layout of the pool: root object and slot headers.
+//!
+//! ```text
+//! offset 0                64                64 + slot_bytes
+//! ┌───────────────────┬──────────────────┬──────────────────┬─ ─ ─
+//! │ root (1 line)     │ slot 0           │ slot 1           │ ...
+//! │ magic,            │ ┌header┐┌payload┐│                  │
+//! │ payload_bytes,    │ │ 24 B ││ N*4 B ││                  │
+//! │ ckpt_batch_id,    │ └──────┘└───────┘│                  │
+//! │ slots_high_water  │ (padded to 64 B) │                  │
+//! └───────────────────┴──────────────────┴──────────────────┴─ ─ ─
+//! ```
+//!
+//! Slot header fields are written little-endian; the checksum covers
+//! key ‖ version ‖ payload so torn payloads are detectable even if a buggy
+//! ordering marked the slot `VALID`.
+
+/// Size of the persistent root object (one cache line).
+pub const ROOT_BYTES: u64 = 64;
+
+/// Magic value identifying an initialized pool.
+pub const POOL_MAGIC: u64 = 0x4F45_504D_0001_u64; // "OEPM" v1
+
+/// Serialized slot header size in bytes.
+pub const HEADER_BYTES: u64 = 24;
+
+/// Offsets within the root line.
+pub(crate) mod root_off {
+    pub const MAGIC: u64 = 0;
+    pub const PAYLOAD_BYTES: u64 = 8;
+    pub const CKPT_ID: u64 = 16;
+    pub const HIGH_WATER: u64 = 24;
+}
+
+/// Lifecycle state of a slot, stored durably in its header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SlotState {
+    /// Slot is unused (or retired); ignored by recovery.
+    Free = 0,
+    /// Slot holds a fully persisted entry.
+    Valid = 0xA11D,
+}
+
+impl SlotState {
+    /// Decode from the raw header word; anything unrecognized is `Free`
+    /// (a torn header can only produce garbage, which must read as free).
+    pub fn from_raw(raw: u32) -> Self {
+        if raw == SlotState::Valid as u32 {
+            SlotState::Valid
+        } else {
+            SlotState::Free
+        }
+    }
+}
+
+/// Decoded slot header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotHeader {
+    /// Slot lifecycle state.
+    pub state: SlotState,
+    /// FNV-1a checksum of key ‖ version ‖ payload (truncated to 32 bits).
+    pub checksum: u32,
+    /// Embedding entry key.
+    pub key: u64,
+    /// Batch id of the last update reflected in the payload.
+    pub version: u64,
+}
+
+impl SlotHeader {
+    /// Serialize into a 24-byte buffer.
+    pub fn encode(&self) -> [u8; HEADER_BYTES as usize] {
+        let mut b = [0u8; HEADER_BYTES as usize];
+        b[0..4].copy_from_slice(&(self.state as u32).to_le_bytes());
+        b[4..8].copy_from_slice(&self.checksum.to_le_bytes());
+        b[8..16].copy_from_slice(&self.key.to_le_bytes());
+        b[16..24].copy_from_slice(&self.version.to_le_bytes());
+        b
+    }
+
+    /// Decode from a 24-byte buffer.
+    pub fn decode(b: &[u8]) -> Self {
+        assert!(b.len() >= HEADER_BYTES as usize);
+        Self {
+            state: SlotState::from_raw(u32::from_le_bytes(b[0..4].try_into().unwrap())),
+            checksum: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            key: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            version: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+        }
+    }
+}
+
+/// FNV-1a over key ‖ version ‖ payload bytes, folded to 32 bits.
+pub fn payload_checksum(key: u64, version: u64, payload: &[u8]) -> u32 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut step = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in key.to_le_bytes() {
+        step(b);
+    }
+    for b in version.to_le_bytes() {
+        step(b);
+    }
+    for &b in payload {
+        step(b);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Convert a payload of `f32` weights to little-endian bytes (into `out`).
+pub fn f32s_to_bytes(src: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(src.len() * 4);
+    for &v in src {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Convert little-endian bytes back to `f32`s (into `out`).
+pub fn bytes_to_f32s(src: &[u8], out: &mut [f32]) {
+    assert_eq!(src.len(), out.len() * 4, "payload size mismatch");
+    for (i, chunk) in src.chunks_exact(4).enumerate() {
+        out[i] = f32::from_le_bytes(chunk.try_into().unwrap());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = SlotHeader {
+            state: SlotState::Valid,
+            checksum: 0xDEADBEEF,
+            key: 42,
+            version: 7,
+        };
+        let enc = h.encode();
+        assert_eq!(SlotHeader::decode(&enc), h);
+    }
+
+    #[test]
+    fn garbage_state_reads_as_free() {
+        assert_eq!(SlotState::from_raw(0), SlotState::Free);
+        assert_eq!(SlotState::from_raw(0xA11D), SlotState::Valid);
+        assert_eq!(SlotState::from_raw(12345), SlotState::Free);
+    }
+
+    #[test]
+    fn checksum_sensitive_to_all_inputs() {
+        let p = [1u8, 2, 3, 4];
+        let base = payload_checksum(1, 1, &p);
+        assert_ne!(base, payload_checksum(2, 1, &p));
+        assert_ne!(base, payload_checksum(1, 2, &p));
+        assert_ne!(base, payload_checksum(1, 1, &[1, 2, 3, 5]));
+        assert_eq!(base, payload_checksum(1, 1, &p));
+    }
+
+    #[test]
+    fn f32_conversion_roundtrip() {
+        let vals = [1.5f32, -2.25, 0.0, f32::MIN_POSITIVE, 1e30];
+        let mut bytes = Vec::new();
+        f32s_to_bytes(&vals, &mut bytes);
+        assert_eq!(bytes.len(), 20);
+        let mut back = [0f32; 5];
+        bytes_to_f32s(&bytes, &mut back);
+        assert_eq!(vals, back);
+    }
+}

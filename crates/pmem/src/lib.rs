@@ -1,0 +1,30 @@
+//! # oe-pmem
+//!
+//! A PMDK-`libpmemobj`-style persistent-memory pool, specialised for DLRM
+//! embedding entries, built on the crash-consistent simulated media from
+//! [`oe_simdevice`].
+//!
+//! The paper stores every embedding entry persistently in PMem and relies on
+//! the "underlying space manager" for two properties (§V-B/C):
+//!
+//! 1. **Crash-safe slot writes.** A slot becomes visible to recovery only
+//!    after its payload is durably fenced ([`pool::PmemPool::write_slot`]
+//!    writes payload → flush → fence → set `VALID` state → flush → fence).
+//!    A checksum over (key, version, payload) additionally detects torn
+//!    writes from buggy orderings — exercised by the property tests.
+//! 2. **Checkpoint-protected versions.** Slots are written out-of-place;
+//!    the space of superseded versions is recycled only when the owning
+//!    index layer says a checkpoint no longer needs them (the free/alloc
+//!    API here, the version-chain pruning policy in `oe-core`).
+//!
+//! The pool also owns the **persistent root object** holding the
+//! *Checkpointed Batch ID* — the single 8-byte value whose atomic durable
+//! update commits a batch-aware checkpoint (Algorithm 2, line 25).
+
+pub mod layout;
+pub mod pool;
+pub mod scan;
+
+pub use layout::{SlotHeader, SlotState, HEADER_BYTES, ROOT_BYTES};
+pub use pool::{PmemPool, PoolConfig, SlotId};
+pub use scan::{RecoveredSlot, ScanReport};

@@ -1,0 +1,160 @@
+//! `oectl` — operations CLI for pool snapshot images.
+//!
+//! ```sh
+//! oectl info   <image>          # header + recovery summary
+//! oectl scan   <image>          # per-key listing (key, slot, version)
+//! oectl verify <image>          # checksum-verify every live slot
+//! oectl dump   <image> <key>    # full payload of one key
+//! oectl top    <image> <key> k  # top-k nearest items to <key>'s embedding
+//! ```
+//!
+//! Images are produced with `oe_serve::save_image` (see the quickstart
+//! example) — a checkpointed pool's persistence-domain bytes.
+
+use oe_pmem::scan::recover;
+use oe_serve::{load_image, ServingNode};
+use oe_simdevice::{Cost, Media};
+use std::path::Path;
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  oectl info   <image>\n  oectl scan   <image> [limit]\n  oectl verify <image>\n  oectl dump   <image> <key>\n  oectl top    <image> <key> [k]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), Path::new(p)),
+        _ => usage(),
+    };
+    let image = match load_image(path) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("oectl: cannot load {}: {e}", path.display());
+            exit(1);
+        }
+    };
+
+    let mut cost = Cost::new();
+    match cmd {
+        "info" => {
+            let media = Arc::new(Media::from_crash(image));
+            let Some((pool, report)) = recover(media, &mut cost) else {
+                eprintln!("oectl: no initialized pool in image");
+                exit(1);
+            };
+            println!("image          : {}", path.display());
+            println!("pool           : {}", pool.describe());
+            println!("checkpoint     : batch {}", report.checkpoint_id);
+            println!("live entries   : {}", report.live.len());
+            println!(
+                "discarded      : {} future, {} stale",
+                report.discarded_future, report.discarded_stale
+            );
+            println!("corrupt slots  : {}", report.corrupt);
+            println!("scan footprint : {:.2} MB", report.scan_bytes as f64 / 1e6);
+            println!("recovery cost  : {cost}");
+        }
+        "scan" => {
+            let limit: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50);
+            let media = Arc::new(Media::from_crash(image));
+            let Some((_pool, report)) = recover(media, &mut cost) else {
+                eprintln!("oectl: no initialized pool in image");
+                exit(1);
+            };
+            println!("{:<16} {:<10} {:<10}", "key", "slot", "version");
+            for r in report.live.iter().take(limit) {
+                println!("{:<16} {:<10} {:<10}", r.key, r.id.0, r.version);
+            }
+            if report.live.len() > limit {
+                println!(
+                    "… {} more (pass a limit to see them)",
+                    report.live.len() - limit
+                );
+            }
+        }
+        "verify" => {
+            let media = Arc::new(Media::from_crash(image));
+            let Some((pool, report)) = recover(media, &mut cost) else {
+                eprintln!("oectl: no initialized pool in image");
+                exit(1);
+            };
+            let mut payload = vec![0f32; pool.payload_f32s()];
+            let mut ok = 0u64;
+            let mut bad = 0u64;
+            for r in &report.live {
+                match pool.read_slot(r.id, &mut payload, &mut cost) {
+                    Some(h) if h.key == r.key && h.version == r.version => ok += 1,
+                    _ => {
+                        bad += 1;
+                        eprintln!("BAD slot {} (key {})", r.id.0, r.key);
+                    }
+                }
+            }
+            println!("verified {ok} entries, {bad} bad");
+            if bad > 0 {
+                exit(1);
+            }
+        }
+        "dump" => {
+            let key: u64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let node = open_serving(image);
+            match node.read_payload(key, &mut cost) {
+                Some(p) => {
+                    println!("key {key} @ checkpoint {}", node.checkpoint());
+                    println!("weights : {:?}", &p[..node.dim().min(p.len())]);
+                    if p.len() > node.dim() {
+                        println!("opt state: {:?}", &p[node.dim()..]);
+                    }
+                }
+                None => {
+                    eprintln!("oectl: key {key} not found");
+                    exit(1);
+                }
+            }
+        }
+        "top" => {
+            let key: u64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let node = open_serving(image);
+            let mut query = Vec::new();
+            if !node.lookup(key, &mut query, &mut cost) {
+                eprintln!("oectl: key {key} not found");
+                exit(1);
+            }
+            let candidates: Vec<u64> = node.entries().map(|(k, _)| k).collect();
+            println!("top-{k} items by dot product with key {key}:");
+            for t in node.top_k(&query, &candidates, k, &mut cost) {
+                println!("  key {:<12} score {:+.6}", t.key, t.score);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn open_serving(image: oe_simdevice::CrashImage) -> ServingNode {
+    let mut cost = Cost::new();
+    // The payload layout stores dim + optimizer state; serve the weight
+    // prefix. We infer dim = payload/2 for AdaGrad-style layouts and
+    // fall back to the full payload; `dump` prints everything anyway.
+    let media = Arc::new(Media::from_crash(image.clone()));
+    let Some((pool, _)) = recover(media, &mut cost) else {
+        eprintln!("oectl: no initialized pool in image");
+        exit(1);
+    };
+    let dim = pool.payload_f32s();
+    ServingNode::open(image, dim, 4096, &mut cost).unwrap_or_else(|| {
+        eprintln!("oectl: no initialized pool in image");
+        exit(1)
+    })
+}

@@ -1,0 +1,21 @@
+//! # oe-serve
+//!
+//! Serving-side tooling for the parameter server — the paper's system
+//! backs "real-time recommendation services" (§III) and its deployment
+//! story includes hand-off from training to inference:
+//!
+//! - [`snapshot`] — durable image files: a crashed/checkpointed pool's
+//!   persistence-domain bytes serialized to disk, so checkpoints become
+//!   artifacts that can be copied, archived, and inspected;
+//! - [`serving`] — [`serving::ServingNode`]: opens an image (or live
+//!   crashed media) read-only at its committed checkpoint, serves
+//!   embedding lookups through a small hot cache, and scores
+//!   dot-product top-k recommendations;
+//! - `oectl` — the operations CLI: `info`, `scan`, `verify`, `top`
+//!   over image files (see `src/bin/oectl.rs`).
+
+pub mod serving;
+pub mod snapshot;
+
+pub use serving::{ServingNode, TopK};
+pub use snapshot::{load_image, save_image};

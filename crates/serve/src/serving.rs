@@ -1,0 +1,267 @@
+//! Read-only serving node.
+//!
+//! Opens a pool image (or crashed media) at its committed checkpoint and
+//! serves lookups for online inference — the downstream half of the
+//! paper's deployment ("real-time recommendation services for customers
+//! visiting their online shop", §III). The node is immutable: a serving
+//! replica never interferes with training, and a new checkpoint image
+//! swaps in atomically by constructing a fresh node.
+
+use oe_cache::{DramArena, EvictionPolicy, PolicyKind};
+use oe_core::BatchId;
+use oe_pmem::scan::recover;
+use oe_pmem::{PmemPool, SlotId};
+use oe_simdevice::{Cost, CrashImage, Media};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A scored recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopK {
+    /// Item key.
+    pub key: u64,
+    /// Dot-product score against the query embedding.
+    pub score: f32,
+}
+
+struct ServeCache {
+    arena: DramArena,
+    policy: Box<dyn EvictionPolicy>,
+    slot_of: HashMap<u64, u32>,
+}
+
+/// Read-only embedding server over a recovered pool.
+pub struct ServingNode {
+    pool: PmemPool,
+    index: HashMap<u64, SlotId>,
+    dim: usize,
+    checkpoint: BatchId,
+    cache: Mutex<ServeCache>,
+}
+
+impl ServingNode {
+    /// Open an image at its committed checkpoint. `dim` must match the
+    /// training configuration; `cache_entries` sizes the hot cache.
+    /// Returns `None` if the image holds no initialized pool.
+    pub fn open(
+        image: CrashImage,
+        dim: usize,
+        cache_entries: usize,
+        cost: &mut Cost,
+    ) -> Option<Self> {
+        let media = Arc::new(Media::from_crash(image));
+        let (pool, report) = recover(media, cost)?;
+        assert!(
+            pool.payload_f32s() >= dim,
+            "image payload smaller than requested dim"
+        );
+        let index = report.live.iter().map(|r| (r.key, r.id)).collect();
+        let cap = cache_entries.max(1);
+        Some(Self {
+            dim,
+            checkpoint: report.checkpoint_id,
+            cache: Mutex::new(ServeCache {
+                arena: DramArena::new(cap, pool.payload_f32s()),
+                policy: PolicyKind::Lru.build(cap),
+                slot_of: HashMap::new(),
+            }),
+            pool,
+            index,
+        })
+    }
+
+    /// Batch id the served model corresponds to.
+    pub fn checkpoint(&self) -> BatchId {
+        self.checkpoint
+    }
+
+    /// Embedding dimension served.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Distinct keys available.
+    pub fn num_keys(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Look up one embedding into `out` (`dim` values appended).
+    /// Returns false (and appends zeros — the standard missing-feature
+    /// convention) if the key is unknown.
+    pub fn lookup(&self, key: u64, out: &mut Vec<f32>, cost: &mut Cost) -> bool {
+        let Some(&pm_slot) = self.index.get(&key) else {
+            out.extend(std::iter::repeat_n(0.0, self.dim));
+            return false;
+        };
+        let mut cache = self.cache.lock();
+        if let Some(&slot) = cache.slot_of.get(&key) {
+            out.extend_from_slice(&cache.arena.payload(slot)[..self.dim]);
+            cache.policy.on_access(slot);
+            return true;
+        }
+        // Miss: read from PMem, install in the hot cache.
+        if cache.arena.is_full() {
+            if let Some(victim) = cache.policy.evict() {
+                let vkey = cache.arena.key(victim);
+                cache.slot_of.remove(&vkey);
+                cache.arena.remove(victim);
+            }
+        }
+        let slot = cache.arena.insert(key, 0).expect("slot available");
+        let ServeCache { arena, .. } = &mut *cache;
+        self.pool
+            .read_slot(pm_slot, arena.payload_mut(slot), cost)
+            .expect("recovered slot valid");
+        cache.slot_of.insert(key, slot);
+        cache.policy.on_insert(slot);
+        out.extend_from_slice(&cache.arena.payload(slot)[..self.dim]);
+        true
+    }
+
+    /// Look up many embeddings.
+    pub fn lookup_many(&self, keys: &[u64], out: &mut Vec<f32>, cost: &mut Cost) -> usize {
+        keys.iter().filter(|&&k| self.lookup(k, out, cost)).count()
+    }
+
+    /// Score `candidates` against a query embedding by dot product and
+    /// return the top `k`, highest first — the last mile of a
+    /// retrieval-style recommender.
+    pub fn top_k(&self, query: &[f32], candidates: &[u64], k: usize, cost: &mut Cost) -> Vec<TopK> {
+        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let mut scored: Vec<TopK> = Vec::with_capacity(candidates.len());
+        let mut emb = Vec::with_capacity(self.dim);
+        for &key in candidates {
+            emb.clear();
+            if !self.lookup(key, &mut emb, cost) {
+                continue;
+            }
+            let score = query.iter().zip(&emb).map(|(q, e)| q * e).sum();
+            scored.push(TopK { key, score });
+        }
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Iterate all (key, version) pairs (oectl scan).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, SlotId)> + '_ {
+        self.index.iter().map(|(&k, &s)| (k, s))
+    }
+
+    /// Read the full payload of a key (oectl dump).
+    pub fn read_payload(&self, key: u64, cost: &mut Cost) -> Option<Vec<f32>> {
+        let slot = *self.index.get(&key)?;
+        let mut payload = vec![0f32; self.pool.payload_f32s()];
+        self.pool.read_slot(slot, &mut payload, cost)?;
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_core::engine::PsEngine;
+    use oe_core::{NodeConfig, OptimizerKind, PsNode};
+
+    const DIM: usize = 4;
+
+    fn trained_image() -> (CrashImage, Vec<Vec<f32>>) {
+        let mut cfg = NodeConfig::small(DIM);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 0.5 };
+        let node = PsNode::new(cfg);
+        let keys: Vec<u64> = (0..50).collect();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        for b in 1..=3 {
+            out.clear();
+            node.pull(&keys, b, &mut out, &mut cost);
+            node.end_pull_phase(b);
+            // Per-key distinct gradients so embeddings diverge (top-k
+            // scoring needs a non-degenerate geometry).
+            let grads: Vec<f32> = keys
+                .iter()
+                .flat_map(|&k| (0..DIM).map(move |d| ((k * 31 + d as u64 * 17) as f32).sin() * 0.3))
+                .collect();
+            node.push(&keys, &grads, b, &mut cost);
+        }
+        node.request_checkpoint(3);
+        out.clear();
+        node.pull(&keys, 4, &mut out, &mut cost);
+        node.end_pull_phase(4);
+        let weights = keys
+            .iter()
+            .map(|&k| node.read_weights(k).unwrap())
+            .collect();
+        (node.pool().media().crash(13), weights)
+    }
+
+    #[test]
+    fn serves_checkpointed_weights() {
+        let (image, expected) = trained_image();
+        let mut cost = Cost::new();
+        let node = ServingNode::open(image, DIM, 16, &mut cost).expect("open");
+        assert_eq!(node.checkpoint(), 3);
+        assert_eq!(node.num_keys(), 50);
+        for (k, w) in expected.iter().enumerate() {
+            let mut out = Vec::new();
+            assert!(node.lookup(k as u64, &mut out, &mut cost));
+            assert_eq!(&out, w, "key {k}");
+            // Second lookup hits the hot cache, same result.
+            let mut out2 = Vec::new();
+            node.lookup(k as u64, &mut out2, &mut cost);
+            assert_eq!(out, out2);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_yield_zeros() {
+        let (image, _) = trained_image();
+        let mut cost = Cost::new();
+        let node = ServingNode::open(image, DIM, 4, &mut cost).unwrap();
+        let mut out = Vec::new();
+        assert!(!node.lookup(999_999, &mut out, &mut cost));
+        assert_eq!(out, vec![0.0; DIM]);
+        let mut out = Vec::new();
+        let found = node.lookup_many(&[1, 999_999, 2], &mut out, &mut cost);
+        assert_eq!(found, 2);
+        assert_eq!(out.len(), 3 * DIM);
+    }
+
+    #[test]
+    fn top_k_ranks_by_dot_product() {
+        let (image, expected) = trained_image();
+        let mut cost = Cost::new();
+        let node = ServingNode::open(image, DIM, 64, &mut cost).unwrap();
+        // Query = the embedding of key 7: its own score must rank top
+        // among candidates including itself.
+        let query = expected[7].clone();
+        let candidates: Vec<u64> = (0..50).collect();
+        let top = node.top_k(&query, &candidates, 5, &mut cost);
+        assert_eq!(top.len(), 5);
+        let self_score: f32 = query.iter().map(|v| v * v).sum();
+        assert!(
+            top.iter()
+                .any(|t| t.key == 7 && (t.score - self_score).abs() < 1e-5),
+            "key 7 in its own top-5: {top:?}"
+        );
+        // Sorted descending.
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn tiny_cache_still_correct_under_churn() {
+        let (image, expected) = trained_image();
+        let mut cost = Cost::new();
+        let node = ServingNode::open(image, DIM, 2, &mut cost).unwrap();
+        for round in 0..3 {
+            for (k, w) in expected.iter().enumerate() {
+                let mut out = Vec::new();
+                node.lookup(k as u64, &mut out, &mut cost);
+                assert_eq!(&out, w, "round {round} key {k}");
+            }
+        }
+    }
+}

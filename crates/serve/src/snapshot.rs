@@ -1,0 +1,143 @@
+//! Durable snapshot image files.
+//!
+//! A [`CrashImage`] is the persistence-domain contents of a pool at a
+//! crash (or clean shutdown) point. Serializing it to disk turns
+//! checkpoints into operable artifacts: copy them to backup storage
+//! (the paper's "remote storage in large periods" tier), inspect them
+//! with `oectl`, or open them read-only with a
+//! [`crate::serving::ServingNode`].
+//!
+//! File format (little-endian):
+//!
+//! ```text
+//! "OEIMG1" (6 B) | device u8 | reserved u8 | len u64 | bytes …
+//! ```
+
+use oe_simdevice::{CrashImage, DeviceKind};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"OEIMG1";
+
+/// Snapshot I/O errors.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// Not an image file / corrupted header.
+    BadFormat(&'static str),
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io: {e}"),
+            SnapshotError::BadFormat(m) => write!(f, "bad image: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn device_tag(kind: DeviceKind) -> u8 {
+    match kind {
+        DeviceKind::Dram => 0,
+        DeviceKind::Pmem => 1,
+        DeviceKind::FlashSsd => 2,
+    }
+}
+
+fn device_from_tag(tag: u8) -> Result<DeviceKind, SnapshotError> {
+    match tag {
+        0 => Ok(DeviceKind::Dram),
+        1 => Ok(DeviceKind::Pmem),
+        2 => Ok(DeviceKind::FlashSsd),
+        _ => Err(SnapshotError::BadFormat("unknown device tag")),
+    }
+}
+
+/// Write an image to `path` (atomic-enough: write then rename is left to
+/// the caller's deployment tooling; this writes directly).
+pub fn save_image(image: &CrashImage, path: &Path) -> Result<(), SnapshotError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&[device_tag(image.device()), 0])?;
+    f.write_all(&(image.bytes().len() as u64).to_le_bytes())?;
+    f.write_all(image.bytes())?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Read an image from `path`.
+pub fn load_image(path: &Path) -> Result<CrashImage, SnapshotError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut header = [0u8; 16];
+    f.read_exact(&mut header)?;
+    if &header[0..6] != MAGIC {
+        return Err(SnapshotError::BadFormat("magic mismatch"));
+    }
+    let device = device_from_tag(header[6])?;
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let mut bytes = vec![0u8; len];
+    f.read_exact(&mut bytes)?;
+    Ok(CrashImage::from_parts(bytes, device))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_simdevice::{Cost, Media, MediaConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("oe_snapshot_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn image_roundtrips_through_disk() {
+        let media = Media::new(MediaConfig::pmem(4096));
+        let mut cost = Cost::new();
+        media.write(100, b"persisted payload", &mut cost);
+        media.persist(100, 17, &mut cost);
+        let image = media.crash(1);
+
+        let path = tmp("roundtrip");
+        save_image(&image, &path).unwrap();
+        let back = load_image(&path).unwrap();
+        assert_eq!(back.bytes(), image.bytes());
+        assert_eq!(back.device(), image.device());
+
+        // And it rehydrates into working media.
+        let m2 = Media::from_crash(back);
+        let mut buf = [0u8; 17];
+        m2.read(100, &mut buf, &mut cost);
+        assert_eq!(&buf, b"persisted payload");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not an image").unwrap();
+        assert!(matches!(
+            load_image(&path),
+            Err(SnapshotError::BadFormat(_))
+        ));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_image(Path::new("/nonexistent/oe.img")),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+}

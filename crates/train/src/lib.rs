@@ -1,0 +1,41 @@
+//! # oe-train
+//!
+//! The synchronous DLRM training simulator.
+//!
+//! Two layers, matching the reproduction strategy in `DESIGN.md`:
+//!
+//! - **Functional**: every batch really pulls weights from the engine,
+//!   computes gradients (either a synthetic rule or a real pure-Rust
+//!   DeepFM with full backprop — [`model::DeepFm`]), and pushes them
+//!   back; checkpoints, crashes, and recovery operate on real state.
+//! - **Performance**: storage operations charge virtual time
+//!   ([`oe_simdevice::Cost`]); the driver composes the charges per phase
+//!   with calibrated GPU ([`gpu::GpuModel`]) and network
+//!   ([`network::NetModel`]) models and a burst-contention model,
+//!   reproducing the paper's batch anatomy:
+//!
+//! ```text
+//! ── pull burst ──┬── GPU compute ────────────┬── push burst ── (ckpt?)
+//!                 └── cache maintenance ‖ ────┘        (pipelined: hidden)
+//! ```
+//!
+//! The spill of maintenance past compute, the synchronous checkpoint
+//! pause, and PMem bandwidth interference are exactly the effects the
+//! paper's Figs. 6/7/9/12/13 measure.
+
+pub mod cost;
+pub mod failure;
+pub mod gpu;
+pub mod model;
+pub mod network;
+pub mod phases;
+pub mod report;
+pub mod trainer;
+
+pub use cost::{CloudCostModel, PsDeployment};
+pub use failure::FailureOutcome;
+pub use gpu::GpuModel;
+pub use network::NetModel;
+pub use phases::PhaseBreakdown;
+pub use report::TrainReport;
+pub use trainer::{SyncTrainer, TrainMode, TrainerConfig};

@@ -1,0 +1,419 @@
+//! The synchronous-training discrete-event driver.
+//!
+//! Functionally, every batch pulls real weights, computes real (or
+//! synthetic) gradients and pushes them back; in virtual time, the
+//! driver composes the engine's charged costs with the GPU/network
+//! models per the paper's batch anatomy (see crate docs).
+
+use crate::gpu::GpuModel;
+use crate::model::{DeepFm, DeepFmConfig};
+use crate::network::NetModel;
+use crate::phases::PhaseBreakdown;
+use crate::report::TrainReport;
+use oe_core::engine::PsEngine;
+use oe_core::init::init_weight;
+use oe_core::{BatchId, CheckpointScheduler};
+use oe_simdevice::clock::Nanos;
+use oe_simdevice::{ContentionModel, Cost, LatencyHistogram, VirtualClock};
+use oe_workload::trace::{TraceKind, TraceRecorder};
+use oe_workload::WorkloadGen;
+
+/// How gradients are produced.
+pub enum TrainMode {
+    /// Deterministic pseudo-gradients (cheap; used for performance
+    /// studies where only the I/O pattern matters).
+    Synthetic {
+        /// Gradient magnitude.
+        grad_scale: f32,
+    },
+    /// A real DeepFM with full backprop; labels come from a synthetic
+    /// teacher keyed by the hottest field key (self-contained signal).
+    DeepFm(DeepFmConfig),
+}
+
+/// Trainer configuration.
+pub struct TrainerConfig {
+    /// GPU workers (the paper's 4/8/16-GPU axis).
+    pub workers: u32,
+    /// Service threads on the PS node.
+    pub ps_service_threads: u32,
+    /// Cache-maintainer threads (pipelined engines).
+    pub maintainer_threads: u32,
+    /// Concurrent request streams each worker opens during a burst.
+    pub streams_per_worker: u32,
+    /// GPU compute model.
+    pub gpu: GpuModel,
+    /// Network model.
+    pub net: NetModel,
+    /// Gradient mode.
+    pub mode: TrainMode,
+    /// Checkpoint scheduler (virtual-time driven).
+    pub ckpt: CheckpointScheduler,
+    /// Pause per checkpoint for dumping the *dense* model from the GPU
+    /// (TensorFlow's own checkpoint path in Table IV). Zero reproduces
+    /// the paper's "Sparse Only" configuration.
+    pub dense_ckpt_pause_ns: Nanos,
+    /// Record a Fig. 2-style trace of request arrivals.
+    pub record_trace: bool,
+}
+
+impl TrainerConfig {
+    /// Paper-shaped defaults for `workers` GPUs, checkpointing disabled.
+    pub fn paper(workers: u32) -> Self {
+        Self {
+            workers,
+            ps_service_threads: 16,
+            maintainer_threads: 8,
+            streams_per_worker: 2,
+            gpu: GpuModel::paper_default(),
+            net: NetModel::paper_default(),
+            mode: TrainMode::Synthetic { grad_scale: 0.01 },
+            ckpt: CheckpointScheduler::disabled(),
+            dense_ckpt_pause_ns: 0,
+            record_trace: false,
+        }
+    }
+
+    fn burst_streams(&self) -> u32 {
+        (self.workers * self.streams_per_worker).max(1)
+    }
+}
+
+/// The synchronous trainer. Drives one engine over one workload.
+pub struct SyncTrainer<'a> {
+    engine: &'a dyn PsEngine,
+    gen: &'a WorkloadGen,
+    cfg: TrainerConfig,
+    clock: VirtualClock,
+    model: Option<DeepFm>,
+    trace: TraceRecorder,
+}
+
+impl<'a> SyncTrainer<'a> {
+    /// Build a trainer.
+    pub fn new(engine: &'a dyn PsEngine, gen: &'a WorkloadGen, cfg: TrainerConfig) -> Self {
+        let model = match &cfg.mode {
+            TrainMode::DeepFm(mcfg) => {
+                assert_eq!(mcfg.dim, engine.dim(), "model dim must match PS");
+                assert_eq!(
+                    mcfg.fields,
+                    gen.spec().fields,
+                    "model fields must match workload"
+                );
+                Some(DeepFm::new(mcfg.clone()))
+            }
+            TrainMode::Synthetic { .. } => None,
+        };
+        Self {
+            engine,
+            gen,
+            cfg,
+            clock: VirtualClock::new(),
+            model,
+            trace: TraceRecorder::new(),
+        }
+    }
+
+    /// Virtual clock (exposed for checkpoint-interval experiments).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Synthetic teacher label: depends on the hottest key of the input
+    /// so the DeepFM has learnable signal.
+    fn teacher_label(keys: &[u64], batch: u64, input: usize) -> f32 {
+        let hot = keys.iter().copied().min().unwrap_or(0);
+        let h = oe_core::init::splitmix64(hot.wrapping_mul(0x9E37) ^ 0xF00D);
+        let noise = oe_core::init::splitmix64(batch ^ (input as u64) << 20 ^ hot);
+        // ~70% determined by the key, 30% noise.
+        let p = if h & 1 == 0 { 0.8 } else { 0.2 };
+        if ((noise >> 16) as f64 / (1u64 << 48) as f64) < p {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Run `batches` batches starting at `start_batch` (1-based batch
+    /// ids; pass the recovery resume point + 1 after a crash).
+    pub fn run(&mut self, start_batch: BatchId, batches: u64) -> TrainReport {
+        let dim = self.engine.dim();
+        let spec = self.gen.spec().clone();
+        let pull_model =
+            ContentionModel::new(self.cfg.ps_service_threads, self.cfg.burst_streams());
+        let maint_model =
+            ContentionModel::new(self.cfg.maintainer_threads, self.cfg.maintainer_threads);
+        let ckpt_model = ContentionModel::new(self.cfg.ps_service_threads, 1);
+
+        let stats0 = self.engine.stats();
+        let mut phases = PhaseBreakdown::default();
+        let mut loss_sum = 0.0f64;
+        let mut loss_count = 0u64;
+        let mut ckpts_taken = 0u64;
+        let mut pull_hist = LatencyHistogram::new();
+        let mut batch_hist = LatencyHistogram::new();
+
+        for b in start_batch..start_batch + batches {
+            let mut batch_phase = PhaseBreakdown::default();
+
+            // ---- pull burst ----
+            let mut pull_cost = Cost::new();
+            let mut net_pull: Nanos = 0;
+            let mut worker_data = Vec::with_capacity(self.cfg.workers as usize);
+            for w in 0..self.cfg.workers {
+                let wb = self.gen.worker_batch(b, w as usize);
+                let mut weights = Vec::new();
+                self.engine
+                    .pull(&wb.unique_keys, b, &mut weights, &mut pull_cost);
+                net_pull = net_pull.max(self.cfg.net.pull_ns(wb.unique_keys.len(), dim));
+                worker_data.push((wb, weights));
+            }
+            batch_phase.pull_ns = pull_model.burst_ns(&pull_cost) + net_pull;
+            if self.cfg.record_trace {
+                let total: u64 = worker_data
+                    .iter()
+                    .map(|(wb, _)| wb.unique_keys.len() as u64)
+                    .sum();
+                self.trace.record(self.clock.now(), TraceKind::Pull, total);
+            }
+
+            // ---- deferred maintenance ∥ GPU compute ----
+            let m = self.engine.end_pull_phase(b);
+            batch_phase.maintain_ns = maint_model.burst_ns(&m.cost);
+            batch_phase.compute_ns = self.cfg.gpu.compute_ns(
+                spec.batch_size / self.cfg.workers.max(1) as usize,
+                spec.fields,
+                dim,
+            );
+            batch_phase.spill_ns = batch_phase
+                .maintain_ns
+                .saturating_sub(batch_phase.compute_ns);
+
+            // ---- gradient computation (functional) + push burst ----
+            let mut push_cost = Cost::new();
+            let mut net_push: Nanos = 0;
+            for (wb, weights) in &worker_data {
+                let keys = &wb.unique_keys;
+                let mut grads = vec![0.0f32; keys.len() * dim];
+                match &mut self.cfg.mode {
+                    TrainMode::Synthetic { grad_scale } => {
+                        let scale = *grad_scale;
+                        for (i, &k) in keys.iter().enumerate() {
+                            for d in 0..dim {
+                                grads[i * dim + d] = init_weight(b ^ 0x5A5A, k, d, scale);
+                            }
+                        }
+                    }
+                    TrainMode::DeepFm(_) => {
+                        let model = self.model.as_mut().expect("model built");
+                        let mut emb = vec![0.0f32; spec.fields * dim];
+                        for (ii, input) in wb.input_keys.iter().enumerate() {
+                            for (f, k) in input.iter().enumerate() {
+                                let idx = keys.binary_search(k).expect("key pulled");
+                                emb[f * dim..(f + 1) * dim]
+                                    .copy_from_slice(&weights[idx * dim..(idx + 1) * dim]);
+                            }
+                            let label = Self::teacher_label(input, b, ii);
+                            let (loss, d_emb) = model.train_example(&emb, &[], label);
+                            loss_sum += loss as f64;
+                            loss_count += 1;
+                            for (f, k) in input.iter().enumerate() {
+                                let idx = keys.binary_search(k).expect("key pulled");
+                                for d in 0..dim {
+                                    grads[idx * dim + d] += d_emb[f * dim + d];
+                                }
+                            }
+                        }
+                    }
+                }
+                self.engine.push(keys, &grads, b, &mut push_cost);
+                net_push = net_push.max(self.cfg.net.push_ns(keys.len(), dim));
+            }
+            if let Some(model) = self.model.as_mut() {
+                model.step_dense(); // synchronous allreduce equivalent
+            }
+            batch_phase.push_ns = pull_model.burst_ns(&push_cost) + net_push;
+            if self.cfg.record_trace {
+                let total: u64 = worker_data
+                    .iter()
+                    .map(|(wb, _)| wb.unique_keys.len() as u64)
+                    .sum();
+                self.trace.record(
+                    self.clock.now() + batch_phase.pull_ns + batch_phase.compute_ns,
+                    TraceKind::Update,
+                    total,
+                );
+            }
+
+            self.clock.advance(
+                batch_phase.pull_ns
+                    + batch_phase.compute_ns
+                    + batch_phase.spill_ns
+                    + batch_phase.push_ns,
+            );
+
+            // ---- checkpoint (synchronous, at the batch boundary) ----
+            if let Some(cp) = self.cfg.ckpt.due(self.clock.now(), b) {
+                let inline = self.engine.request_checkpoint(cp);
+                let mut pause = ckpt_model.burst_ns(&inline);
+                pause += self.cfg.dense_ckpt_pause_ns;
+                batch_phase.ckpt_pause_ns = pause;
+                self.clock.advance(pause);
+                ckpts_taken += 1;
+            }
+
+            pull_hist.record(batch_phase.pull_ns);
+            batch_hist.record(batch_phase.total_ns());
+            phases.accumulate(&batch_phase);
+        }
+
+        TrainReport {
+            engine: self.engine.name().to_string(),
+            workers: self.cfg.workers,
+            batches,
+            total_ns: self.clock.now(),
+            phases,
+            stats: self.engine.stats().delta_since(&stats0),
+            avg_loss: if loss_count > 0 {
+                Some(loss_sum / loss_count as f64)
+            } else {
+                None
+            },
+            checkpoints_taken: ckpts_taken,
+            committed_checkpoint: self.engine.committed_checkpoint(),
+            trace_per_ms: if self.cfg.record_trace {
+                Some(self.trace.per_ms())
+            } else {
+                None
+            },
+            pull_hist,
+            batch_hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_core::{NodeConfig, OptimizerKind, PsNode};
+    use oe_workload::{SkewModel, WorkloadSpec};
+
+    fn small_spec(workers: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            num_keys: 2_000,
+            fields: 4,
+            batch_size: 64,
+            workers,
+            skew: SkewModel::paper_fit(),
+            seed: 5,
+            drift_keys_per_batch: 0,
+        }
+    }
+
+    fn node() -> PsNode {
+        let mut cfg = NodeConfig::small(8);
+        cfg.optimizer = OptimizerKind::Adagrad {
+            lr: 0.05,
+            eps: 1e-8,
+        };
+        cfg.cache_bytes = 400 * cfg.bytes_per_cached_entry();
+        PsNode::new(cfg)
+    }
+
+    #[test]
+    fn synthetic_run_produces_consistent_report() {
+        let n = node();
+        let gen = WorkloadGen::new(small_spec(2));
+        let mut cfg = TrainerConfig::paper(2);
+        cfg.mode = TrainMode::Synthetic { grad_scale: 0.01 };
+        let mut t = SyncTrainer::new(&n, &gen, cfg);
+        let r = t.run(1, 10);
+        assert_eq!(r.batches, 10);
+        assert!(r.total_ns > 0);
+        assert_eq!(
+            r.stats.pulls, r.stats.pushes,
+            "every pulled key is pushed back"
+        );
+        assert!(r.phases.compute_ns > 0);
+        assert!(r.avg_loss.is_none());
+    }
+
+    #[test]
+    fn deterministic_virtual_time() {
+        let run = || {
+            let n = node();
+            let gen = WorkloadGen::new(small_spec(2));
+            let mut t = SyncTrainer::new(&n, &gen, TrainerConfig::paper(2));
+            t.run(1, 8).total_ns
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deepfm_training_reduces_loss() {
+        let n = node();
+        let gen = WorkloadGen::new(small_spec(1));
+        let mut cfg = TrainerConfig::paper(1);
+        cfg.mode = TrainMode::DeepFm(DeepFmConfig {
+            dim: 8,
+            fields: 4,
+            dense_features: 0,
+            hidden: vec![16],
+            dense_lr: 0.02,
+            seed: 3,
+        });
+        let mut t = SyncTrainer::new(&n, &gen, cfg);
+        let early = t.run(1, 15).avg_loss.unwrap();
+        let late = t.run(16, 15).avg_loss.unwrap();
+        assert!(
+            late < early,
+            "loss should fall with training: {early} → {late}"
+        );
+        // Better than chance (ln 2 ≈ 0.693) by the second block.
+        assert!(late < 0.67, "late loss {late}");
+    }
+
+    #[test]
+    fn more_workers_less_total_time() {
+        let time_for = |workers: usize| {
+            let n = node();
+            let gen = WorkloadGen::new(small_spec(workers));
+            let mut t = SyncTrainer::new(&n, &gen, TrainerConfig::paper(workers as u32));
+            t.run(1, 10).total_ns
+        };
+        let w1 = time_for(1);
+        let w4 = time_for(4);
+        assert!(w4 < w1, "data parallel speedup: {w1} vs {w4}");
+    }
+
+    #[test]
+    fn checkpointing_engine_commits_during_training() {
+        let n = node();
+        let gen = WorkloadGen::new(small_spec(2));
+        let mut cfg = TrainerConfig::paper(2);
+        cfg.ckpt = CheckpointScheduler::every(1); // due at every boundary
+        let mut t = SyncTrainer::new(&n, &gen, cfg);
+        let r = t.run(1, 6);
+        assert!(r.checkpoints_taken >= 5);
+        assert!(
+            r.committed_checkpoint >= 4,
+            "commits ride maintenance: {}",
+            r.committed_checkpoint
+        );
+    }
+
+    #[test]
+    fn trace_records_pull_update_pairs() {
+        let n = node();
+        let gen = WorkloadGen::new(small_spec(2));
+        let mut cfg = TrainerConfig::paper(2);
+        cfg.record_trace = true;
+        let mut t = SyncTrainer::new(&n, &gen, cfg);
+        let r = t.run(1, 5);
+        let trace = r.trace_per_ms.expect("trace recorded");
+        let pulls: u64 = trace.iter().map(|b| b.pulls).sum();
+        let updates: u64 = trace.iter().map(|b| b.updates).sum();
+        assert_eq!(pulls, updates, "pull/update pairs");
+        assert!(pulls > 0);
+    }
+}

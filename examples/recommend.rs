@@ -1,0 +1,132 @@
+//! Train → checkpoint → snapshot image → serve recommendations.
+//!
+//! The full production lifecycle from the paper's deployment story
+//! (§III: the model backs "real-time recommendation services"):
+//!
+//! 1. train item embeddings on the PS,
+//! 2. take a lightweight batch-aware checkpoint,
+//! 3. capture the PMem persistence domain as a snapshot image file,
+//! 4. open the image with a read-only `ServingNode` and answer top-k
+//!    item-to-item recommendation queries.
+//!
+//! Inspect the image afterwards with the ops CLI:
+//! `cargo run --release -p oe-serve --bin oectl -- info /tmp/oe_recsys.img`
+//!
+//! ```sh
+//! cargo run --release --example recommend
+//! ```
+
+use openembedding::prelude::*;
+use openembedding::workload::CriteoSynth;
+
+const DIM: usize = 16;
+const BATCHES: u64 = 60;
+const BATCH: usize = 256;
+
+fn main() {
+    println!("== Recommendation serving from a checkpoint image ==\n");
+
+    // 1. Train a DeepFM on synthetic Criteo so the item embeddings carry
+    //    real co-occurrence structure.
+    let data = CriteoSynth::new(7);
+    let mut cfg = NodeConfig::small(DIM);
+    cfg.optimizer = OptimizerKind::Adagrad {
+        lr: 0.08,
+        eps: 1e-8,
+    };
+    cfg.cache_bytes = 4 << 20;
+    cfg.pmem_capacity = 256 << 20;
+    let node = PsNode::new(cfg);
+    let mut model = DeepFm::new(DeepFmConfig {
+        dim: DIM,
+        fields: openembedding::workload::criteo::CAT_FIELDS,
+        dense_features: openembedding::workload::criteo::DENSE_FEATURES,
+        hidden: vec![32, 16],
+        dense_lr: 0.01,
+        seed: 5,
+    });
+    let mut cost = Cost::new();
+    for b in 1..=BATCHES {
+        let samples = data.batch((b - 1) * BATCH as u64, BATCH);
+        let mut keys: Vec<u64> = samples.iter().flat_map(|s| s.cat_keys.clone()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut weights = Vec::new();
+        node.pull(&keys, b, &mut weights, &mut cost);
+        node.end_pull_phase(b);
+        let mut grads = vec![0.0f32; keys.len() * DIM];
+        let mut emb = vec![0.0f32; openembedding::workload::criteo::CAT_FIELDS * DIM];
+        for s in &samples {
+            for (f, k) in s.cat_keys.iter().enumerate() {
+                let idx = keys.binary_search(k).unwrap();
+                emb[f * DIM..(f + 1) * DIM].copy_from_slice(&weights[idx * DIM..(idx + 1) * DIM]);
+            }
+            let (_, d_emb) = model.train_example(&emb, &s.dense, s.label);
+            for (f, k) in s.cat_keys.iter().enumerate() {
+                let idx = keys.binary_search(k).unwrap();
+                for d in 0..DIM {
+                    grads[idx * DIM + d] += d_emb[f * DIM + d];
+                }
+            }
+        }
+        model.step_dense();
+        node.push(&keys, &grads, b, &mut cost);
+    }
+    println!(
+        "trained {BATCHES} batches; {} item embeddings live",
+        node.num_keys()
+    );
+
+    // 2. Checkpoint + commit.
+    node.request_checkpoint(BATCHES);
+    let mut out = Vec::new();
+    node.pull(&[0], BATCHES + 1, &mut out, &mut cost);
+    node.end_pull_phase(BATCHES + 1);
+    println!(
+        "checkpoint committed at batch {}",
+        node.committed_checkpoint()
+    );
+
+    // 3. Capture the persistence domain as an image file.
+    let image = node.pool().media().crash(0x5EED);
+    let path = std::env::temp_dir().join("oe_recsys.img");
+    save_image(&image, &path).expect("write image");
+    println!(
+        "snapshot image: {} ({:.1} MB)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len() as f64 / 1e6
+    );
+
+    // 4. Serve: open read-only, answer item-to-item queries.
+    let image = load_image(&path).expect("read image");
+    let mut serve_cost = Cost::new();
+    let server = ServingNode::open(image, DIM, 8192, &mut serve_cost).expect("open image");
+    println!(
+        "\nserving node: {} keys @ checkpoint {}\n",
+        server.num_keys(),
+        server.checkpoint()
+    );
+
+    // Query: the most popular key of a large categorical field.
+    let field = 2; // a 150k-cardinality field
+    let candidates: Vec<u64> = server
+        .entries()
+        .map(|(k, _)| k)
+        .filter(|k| data.field_range(field).contains(k))
+        .collect();
+    let query_key = candidates[0];
+    let mut query = Vec::new();
+    server.lookup(query_key, &mut query, &mut serve_cost);
+    println!(
+        "top-5 items related to key {query_key} (field {field}, {} candidates):",
+        candidates.len()
+    );
+    for t in server.top_k(&query, &candidates, 5, &mut serve_cost) {
+        println!("  key {:<12} score {:+.4}", t.key, t.score);
+    }
+    println!("\nserving cost charged: {serve_cost}");
+    println!(
+        "\ninspect the image: cargo run -p oe-serve --bin oectl -- info {}",
+        path.display()
+    );
+}

@@ -1,0 +1,156 @@
+//! Engine parity: every storage engine — OpenEmbedding (all ablation
+//! configurations), DRAM-PS, Ori-Cache, PMem-Hash, TF-PS, and clusters
+//! thereof — produces *bit-identical* weights on the same deterministic
+//! workload. The engines differ only in where bytes live and what they
+//! cost; the training math is shared, so any divergence is a bug.
+
+use openembedding::prelude::*;
+
+const DIM: usize = 8;
+
+fn node_cfg(cache_entries: usize) -> NodeConfig {
+    let mut cfg = NodeConfig::small(DIM);
+    cfg.optimizer = OptimizerKind::Adagrad {
+        lr: 0.05,
+        eps: 1e-8,
+    };
+    cfg.cache_bytes = cache_entries * cfg.bytes_per_cached_entry();
+    cfg
+}
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        num_keys: 2_000,
+        fields: 5,
+        batch_size: 64,
+        workers: 2,
+        skew: SkewModel::paper_fit(),
+        seed: 31,
+        drift_keys_per_batch: 0,
+    }
+}
+
+fn train(engine: &dyn PsEngine, batches: u64) {
+    let gen = WorkloadGen::new(spec());
+    let mut cfg = TrainerConfig::paper(2);
+    cfg.mode = TrainMode::Synthetic { grad_scale: 0.03 };
+    let mut t = SyncTrainer::new(engine, &gen, cfg);
+    t.run(1, batches);
+}
+
+fn weights_of(engine: &dyn PsEngine) -> Vec<(u64, Vec<f32>)> {
+    (0..spec().num_keys)
+        .filter_map(|k| engine.read_weights(k).map(|w| (k, w)))
+        .collect()
+}
+
+#[test]
+fn all_engines_converge_to_identical_weights() {
+    let reference = DramPs::new(node_cfg(100), CkptDevice::Ssd);
+    train(&reference, 12);
+    let expect = weights_of(&reference);
+    assert!(expect.len() > 100, "nontrivial key set: {}", expect.len());
+
+    // OE at several cache sizes (heavy eviction ↔ no eviction), plus
+    // ablation configs, plus every baseline.
+    let mut engines: Vec<Box<dyn PsEngine>> = vec![
+        Box::new(PsNode::new(node_cfg(16))),
+        Box::new(PsNode::new(node_cfg(200))),
+        Box::new(PsNode::new(node_cfg(5_000))),
+        Box::new(OriCache::new(node_cfg(64), CkptDevice::Pmem)),
+        Box::new(PmemHash::new(node_cfg(64))),
+        Box::new(TfPs::new(node_cfg(64), CkptDevice::Ssd)),
+        Box::new(IncrementalCkpt::new(
+            PsNode::new(node_cfg(64)),
+            CkptDevice::Pmem,
+        )),
+    ];
+    {
+        let mut no_cache = node_cfg(64);
+        no_cache.enable_cache = false;
+        engines.push(Box::new(PsNode::new(no_cache)));
+        let mut no_pipe = node_cfg(64);
+        no_pipe.enable_pipeline = false;
+        engines.push(Box::new(PsNode::new(no_pipe)));
+        let mut sharded = node_cfg(256);
+        sharded.shards = 8;
+        engines.push(Box::new(PsNode::new(sharded)));
+        // Alternative cache policies change locality, never weights.
+        use openembedding::cache::{AdmissionKind, PolicyKind};
+        let mut fifo = node_cfg(64);
+        fifo.replacement = PolicyKind::Fifo;
+        engines.push(Box::new(PsNode::new(fifo)));
+        let mut clock = node_cfg(64);
+        clock.replacement = PolicyKind::Clock;
+        engines.push(Box::new(PsNode::new(clock)));
+        let mut doorkeeper = node_cfg(64);
+        doorkeeper.admission = AdmissionKind::SecondTouch;
+        engines.push(Box::new(PsNode::new(doorkeeper)));
+    }
+
+    for engine in &engines {
+        train(engine.as_ref(), 12);
+        let got = weights_of(engine.as_ref());
+        assert_eq!(
+            got.len(),
+            expect.len(),
+            "{}: key count mismatch",
+            engine.name()
+        );
+        for ((k1, w1), (k2, w2)) in got.iter().zip(&expect) {
+            assert_eq!(k1, k2, "{}", engine.name());
+            assert_eq!(w1, w2, "{}: weights diverge at key {k1}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn cluster_parity_with_checkpointing_enabled() {
+    let single = PsNode::new(node_cfg(128));
+    train(&single, 8);
+    single.request_checkpoint(8);
+    train_more(&single, 9, 4);
+
+    let cluster = Cluster::new((0..4).map(|_| PsNode::new(node_cfg(32))).collect());
+    train(&cluster, 8);
+    cluster.request_checkpoint(8);
+    train_more(&cluster, 9, 4);
+
+    assert_eq!(
+        single.committed_checkpoint(),
+        cluster.committed_checkpoint()
+    );
+    for key in 0..spec().num_keys {
+        assert_eq!(single.read_weights(key), cluster.read_weights(key));
+    }
+}
+
+fn train_more(engine: &dyn PsEngine, from: u64, n: u64) {
+    let gen = WorkloadGen::new(spec());
+    let mut cfg = TrainerConfig::paper(2);
+    cfg.mode = TrainMode::Synthetic { grad_scale: 0.03 };
+    let mut t = SyncTrainer::new(engine, &gen, cfg);
+    t.run(from, n);
+}
+
+#[test]
+fn checkpointing_never_perturbs_training_state() {
+    // Same run with and without aggressive checkpointing: identical
+    // weights (checkpoints are pure persistence, zero training effect).
+    let quiet = PsNode::new(node_cfg(64));
+    train(&quiet, 12);
+
+    let noisy = PsNode::new(node_cfg(64));
+    let gen = WorkloadGen::new(spec());
+    let mut cfg = TrainerConfig::paper(2);
+    cfg.mode = TrainMode::Synthetic { grad_scale: 0.03 };
+    let mut t = SyncTrainer::new(&noisy, &gen, cfg);
+    for b in 1..=12 {
+        t.run(b, 1);
+        noisy.request_checkpoint(b);
+    }
+    assert!(noisy.committed_checkpoint() >= 11);
+    for key in 0..spec().num_keys {
+        assert_eq!(quiet.read_weights(key), noisy.read_weights(key));
+    }
+}
