@@ -668,7 +668,10 @@ pub fn ablations(sc: &Scenario) {
     println!("(sharding is a scalability reserve: with the pipeline hiding maintenance, one lock is already enough at this scale — the paper's design point)");
 
     hr("Ablation D — popularity drift @ 16 GPUs (item churn over the 147-day trace)");
-    println!("{:<16} {:>10} {:>10}", "drift keys/batch", "miss%", "norm time");
+    println!(
+        "{:<16} {:>10} {:>10}",
+        "drift keys/batch", "miss%", "norm time"
+    );
     let mut base = None;
     for drift in [0u64, 10, 100, 1_000] {
         let mut s = sc.clone();
@@ -683,6 +686,35 @@ pub fn ablations(sc: &Scenario) {
         );
     }
     println!("(the LRU cache tracks a sliding hot set at moderate churn; extreme churn degrades toward the cold-miss regime)");
+}
+
+/// `latency` artifact: per-engine batch-phase latency distributions as
+/// JSON — the tail-latency view behind the paper's barrier argument (a
+/// p99 pull stall delays the whole synchronous batch). Dumped as JSON
+/// so plots and regression checks can consume it directly.
+pub fn latency(sc: &Scenario) {
+    hr("latency — per-engine pull/batch latency quantiles @ 8 GPUs (virtual ns)");
+    let mut rows = Vec::new();
+    for kind in [EngineKind::Oe, EngineKind::DramPs, EngineKind::OriCache] {
+        let r = run_scenario(kind, sc, 8, CkptSetup::None);
+        println!("{:<12} pull {}", kind.label(), r.pull_hist.summary_ms());
+        rows.push(serde_json::json!({
+            "engine": kind.label(),
+            "batches": r.batches,
+            "miss_rate": r.miss_rate(),
+            "pull_p50_ns": r.pull_hist.p50(),
+            "pull_p95_ns": r.pull_hist.p95(),
+            "pull_p99_ns": r.pull_hist.p99(),
+            "pull_max_ns": r.pull_hist.max(),
+            "batch_p99_ns": r.batch_hist.p99(),
+        }));
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&serde_json::json!({ "latency": rows }))
+            .expect("latency rows serialize")
+    );
+    println!("(expect: PMem-OE pull tails within a few % of DRAM-PS; Ori-Cache inflated by inline maintenance)");
 }
 
 /// Run everything.
@@ -702,5 +734,6 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     fig13(sc, ckpt_interval_ns);
     fig14(sc);
     fig15(sc);
+    latency(sc);
     ablations(sc);
 }

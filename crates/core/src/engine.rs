@@ -69,4 +69,11 @@ pub trait PsEngine: Send + Sync {
 
     /// Number of distinct keys the engine knows.
     fn num_keys(&self) -> usize;
+
+    /// Prometheus-style text exposition of the engine's telemetry
+    /// registry. Engines without one (simple baselines) return an
+    /// empty string.
+    fn metrics_text(&self) -> String {
+        String::new()
+    }
 }

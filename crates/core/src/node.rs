@@ -38,9 +38,11 @@ use oe_cache::policy::EvictionPolicy;
 use oe_cache::{AccessQueue, Admission, DramArena, HashIndex, TaggedLoc, VersionChain};
 use oe_pmem::{PmemPool, PoolConfig};
 use oe_simdevice::{Cost, CostKind, DeviceTiming};
+use oe_telemetry::{Gauge, Phase, PhaseTimes, Registry};
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Maximum simultaneously pending checkpoint requests; a newer request
 /// replaces the newest pending one when the queue is full (a later
@@ -70,6 +72,11 @@ pub struct PsNode {
     committed: AtomicU64,
     stats: EngineStats,
     dram: DeviceTiming,
+    /// Telemetry registry (S25): counters shared with `stats`, phase
+    /// latency histograms, and the committed-CBI gauge all live here.
+    registry: Arc<Registry>,
+    phases: PhaseTimes,
+    committed_gauge: Gauge,
 }
 
 impl PsNode {
@@ -100,6 +107,20 @@ impl PsNode {
             })
             .collect();
         let opt = cfg.optimizer.build();
+        let registry = Arc::new(Registry::new());
+        let stats = EngineStats::registered(&registry);
+        let phases = PhaseTimes::new(
+            &registry,
+            "oe",
+            &[
+                Phase::Pull,
+                Phase::Maintain,
+                Phase::Flush,
+                Phase::CkptCommit,
+                Phase::Push,
+            ],
+        );
+        let committed_gauge = registry.gauge("oe_committed_batch");
         Self {
             cfg,
             opt,
@@ -108,8 +129,11 @@ impl PsNode {
             access_queue: AccessQueue::new(),
             ckpt_pending: Mutex::new(VecDeque::new()),
             committed: AtomicU64::new(0),
-            stats: EngineStats::default(),
+            stats,
             dram: DeviceTiming::dram(),
+            registry,
+            phases,
+            committed_gauge,
         }
     }
 
@@ -128,7 +152,14 @@ impl PsNode {
             g.index.insert_recovered(r.key, r.id, r.version);
         }
         node.committed.store(scan.checkpoint_id, Ordering::Release);
+        node.committed_gauge.set(scan.checkpoint_id);
         node
+    }
+
+    /// The node's telemetry registry (counters, gauges, phase latency
+    /// histograms). Shared so servers can merge it into exposition.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Node configuration.
@@ -169,6 +200,7 @@ impl PsNode {
         boundaries: &[BatchId],
         cost: &mut Cost,
     ) {
+        let t0 = cost.total_ns();
         if chain.len() == CHAIN_CAP {
             // Emergency prune so push never overflows.
             let mut freed = Vec::new();
@@ -192,6 +224,8 @@ impl PsNode {
             EngineStats::add(&self.stats.slots_recycled, 1);
         }
         EngineStats::add(&self.stats.flushes, 1);
+        self.phases
+            .record_ns(Phase::Flush, cost.total_ns().saturating_sub(t0));
     }
 
     /// Evict the shard's LRU victim to PMem, freeing one arena slot.
@@ -332,12 +366,16 @@ impl PsNode {
     }
 
     fn commit_checkpoint(&self, cp: BatchId, cost: &mut Cost) {
+        let t0 = cost.total_ns();
         self.pool.set_checkpoint_id(cp, cost);
         self.committed.store(cp, Ordering::Release);
+        self.committed_gauge.set(cp);
         let mut q = self.ckpt_pending.lock();
         debug_assert_eq!(q.front().copied(), Some(cp));
         q.pop_front();
         EngineStats::add(&self.stats.ckpt_commits, 1);
+        self.phases
+            .record_ns(Phase::CkptCommit, cost.total_ns().saturating_sub(t0));
     }
 
     /// Drain pass: flush every cached dirty entry with version ≤ cp, then
@@ -449,6 +487,7 @@ impl PsNode {
     /// Run Algorithm 2 over the access queue. Public so tests can drive
     /// maintenance directly; engines call it via `end_pull_phase`.
     pub fn run_maintenance(&self, batch: BatchId, cost: &mut Cost) -> (u64, u64) {
+        let t0 = cost.total_ns();
         let mut processed = 0u64;
         let mut commits = 0u64;
         if self.cfg.enable_cache {
@@ -476,6 +515,8 @@ impl PsNode {
         // the drain pass finishes whatever is left.
         commits += self.try_commit(cost);
         commits += self.drain_commit(cost);
+        self.phases
+            .record_ns(Phase::Maintain, cost.total_ns().saturating_sub(t0));
         (processed, commits)
     }
 
@@ -501,23 +542,9 @@ impl PsNode {
             mcost.ns(CostKind::Cpu) + mcost.ns(CostKind::Serialized),
         );
     }
-}
 
-impl PsEngine for PsNode {
-    fn name(&self) -> &'static str {
-        "PMem-OE"
-    }
-
-    fn dim(&self) -> usize {
-        self.cfg.dim
-    }
-
-    fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
-        out.reserve(keys.len() * self.cfg.dim);
-        if !self.cfg.enable_cache {
-            self.pull_uncached(keys, batch, out, cost);
-            return;
-        }
+    /// Algorithm 1 (pull weights) over the DRAM cache.
+    fn pull_cached(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
         let dim = self.cfg.dim;
         let mut scratch = vec![0f32; self.cfg.payload_f32s()];
         for &key in keys {
@@ -585,26 +612,8 @@ impl PsEngine for PsNode {
         }
     }
 
-    fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
-        if !self.cfg.enable_pipeline {
-            // Work already done inline during pull.
-            return MaintenanceReport::default();
-        }
-        let mut cost = Cost::new();
-        let (processed, commits) = self.run_maintenance(batch, &mut cost);
-        MaintenanceReport {
-            cost,
-            entries_processed: processed,
-            ckpt_commits: commits,
-        }
-    }
-
-    fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
-        assert_eq!(grads.len(), keys.len() * self.cfg.dim, "grad shape");
-        if !self.cfg.enable_cache {
-            self.push_uncached(keys, grads, batch, cost);
-            return;
-        }
+    /// Gradient application over the DRAM cache.
+    fn push_cached(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
         let dim = self.cfg.dim;
         for (i, &key) in keys.iter().enumerate() {
             cost.charge(
@@ -657,6 +666,54 @@ impl PsEngine for PsNode {
             EngineStats::add(&self.stats.pushes, 1);
         }
     }
+}
+
+impl PsEngine for PsNode {
+    fn name(&self) -> &'static str {
+        "PMem-OE"
+    }
+
+    fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+        let t0 = cost.total_ns();
+        out.reserve(keys.len() * self.cfg.dim);
+        if self.cfg.enable_cache {
+            self.pull_cached(keys, batch, out, cost);
+        } else {
+            self.pull_uncached(keys, batch, out, cost);
+        }
+        self.phases
+            .record_ns(Phase::Pull, cost.total_ns().saturating_sub(t0));
+    }
+
+    fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
+        if !self.cfg.enable_pipeline {
+            // Work already done inline during pull.
+            return MaintenanceReport::default();
+        }
+        let mut cost = Cost::new();
+        let (processed, commits) = self.run_maintenance(batch, &mut cost);
+        MaintenanceReport {
+            cost,
+            entries_processed: processed,
+            ckpt_commits: commits,
+        }
+    }
+
+    fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        assert_eq!(grads.len(), keys.len() * self.cfg.dim, "grad shape");
+        let t0 = cost.total_ns();
+        if self.cfg.enable_cache {
+            self.push_cached(keys, grads, batch, cost);
+        } else {
+            self.push_uncached(keys, grads, batch, cost);
+        }
+        self.phases
+            .record_ns(Phase::Push, cost.total_ns().saturating_sub(t0));
+    }
 
     fn request_checkpoint(&self, batch: BatchId) -> Cost {
         let mut cost = Cost::new();
@@ -699,6 +756,10 @@ impl PsEngine for PsNode {
 
     fn num_keys(&self) -> usize {
         self.shards.iter().map(|s| s.read().index.len()).sum()
+    }
+
+    fn metrics_text(&self) -> String {
+        self.registry.render_text()
     }
 }
 
@@ -871,6 +932,38 @@ mod tests {
             0,
             "steady-state pulls take only the read lock"
         );
+    }
+
+    #[test]
+    fn telemetry_records_phase_latencies() {
+        let n = node(2);
+        let mut cost = Cost::new();
+        let mut out = Vec::new();
+        n.pull(&(0..8u64).collect::<Vec<_>>(), 1, &mut out, &mut cost);
+        n.end_pull_phase(1);
+        n.push(&[0, 1], &[0.5; 8], 1, &mut cost);
+        n.request_checkpoint(1);
+        n.pull(&[0], 2, &mut out, &mut cost);
+        n.end_pull_phase(2);
+
+        let snap = n.registry().snapshot();
+        let pull = snap.histogram("oe_pull_latency_ns").expect("registered");
+        assert_eq!(pull.count(), 2, "one sample per pull burst");
+        assert!(pull.max() > 0, "virtual pull time recorded");
+        let maintain = snap.histogram("oe_maintain_latency_ns").unwrap();
+        assert!(maintain.count() >= 2);
+        assert!(snap.histogram("oe_push_latency_ns").unwrap().count() == 1);
+        assert!(snap.histogram("oe_flush_latency_ns").unwrap().count() >= n.stats().flushes);
+        assert_eq!(
+            snap.histogram("oe_ckpt_commit_latency_ns").unwrap().count(),
+            1
+        );
+        assert_eq!(snap.gauge("oe_committed_batch"), Some(1));
+        assert_eq!(snap.counter("oe_pulls_total"), Some(n.stats().pulls));
+
+        let text = n.metrics_text();
+        assert!(text.contains("oe_pulls_total"));
+        assert!(text.contains("oe_pull_latency_ns{quantile=\"0.99\"}"));
     }
 
     #[test]

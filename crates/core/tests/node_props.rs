@@ -29,7 +29,12 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn node_cfg(cache_entries: usize, shards: usize, policy: PolicyKind, adm: AdmissionKind) -> NodeConfig {
+fn node_cfg(
+    cache_entries: usize,
+    shards: usize,
+    policy: PolicyKind,
+    adm: AdmissionKind,
+) -> NodeConfig {
     let mut cfg = NodeConfig::small(DIM);
     cfg.optimizer = OptimizerKind::Sgd { lr: 0.1 };
     cfg.cache_bytes = cache_entries * cfg.bytes_per_cached_entry();

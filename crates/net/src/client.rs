@@ -193,6 +193,13 @@ impl PsEngine for RemotePs {
             other => panic!("num_keys: unexpected {other:?}"),
         }
     }
+
+    fn metrics_text(&self) -> String {
+        match Self::raw_call(&*self.transport, Request::Metrics) {
+            Response::Metrics(text) => text,
+            other => panic!("metrics: unexpected {other:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +272,17 @@ mod tests {
         assert_eq!(remote.committed_checkpoint(), 1);
         assert_eq!(remote.num_keys(), 1);
         assert!(remote.stats().pulls >= 2);
+    }
+
+    #[test]
+    fn metrics_text_travels_over_the_wire() {
+        let (remote, _h) = remote_node();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        remote.pull(&[1, 2], 1, &mut out, &mut cost);
+        let text = remote.metrics_text();
+        assert!(text.contains("rpc_requests_total"), "server side:\n{text}");
+        assert!(text.contains("oe_pulls_total 2"), "engine side:\n{text}");
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub enum Request {
     NumKeys,
     /// Embedding dimension + engine name probe.
     Hello,
+    /// Telemetry exposition: server + engine registries rendered as
+    /// Prometheus-style text.
+    Metrics,
 }
 
 /// Server-to-client messages.
@@ -141,6 +144,15 @@ pub enum Response {
         dim: u32,
         /// Engine name.
         name: String,
+    },
+    /// Rendered telemetry text.
+    Metrics(String),
+    /// The server could not serve the request (e.g. an undecodable
+    /// frame). Carrying the reason back keeps the client from blocking
+    /// forever on a dropped frame.
+    Error {
+        /// Human-readable reason.
+        message: String,
     },
 }
 
@@ -214,6 +226,22 @@ fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
     Ok(buf.get_u64_le())
 }
 
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(CodecError::Truncated);
+    }
+    Ok(String::from_utf8_lossy(&buf.copy_to_bytes(n)).into_owned())
+}
+
 // --- frame encode/decode ------------------------------------------------
 
 impl Frame {
@@ -229,6 +257,7 @@ impl Frame {
                 Request::ReadWeights { .. } => 0x07,
                 Request::NumKeys => 0x08,
                 Request::Hello => 0x09,
+                Request::Metrics => 0x0A,
             },
             Frame::Response(r) => match r {
                 Response::Weights { .. } => 0x81,
@@ -239,6 +268,8 @@ impl Frame {
                 Response::MaybeWeights(_) => 0x86,
                 Response::Count(_) => 0x87,
                 Response::HelloOk { .. } => 0x88,
+                Response::Metrics(_) => 0x89,
+                Response::Error { .. } => 0x8F,
             },
         }
     }
@@ -261,7 +292,11 @@ impl Frame {
                     body.put_u64_le(*batch);
                 }
                 Request::ReadWeights { key } => body.put_u64_le(*key),
-                Request::Committed | Request::Stats | Request::NumKeys | Request::Hello => {}
+                Request::Committed
+                | Request::Stats
+                | Request::NumKeys
+                | Request::Hello
+                | Request::Metrics => {}
             },
             Frame::Response(r) => match r {
                 Response::Weights { weights, cost } => {
@@ -309,6 +344,8 @@ impl Frame {
                     body.put_u32_le(name.len() as u32);
                     body.put_slice(name.as_bytes());
                 }
+                Response::Metrics(text) => put_str(&mut body, text),
+                Response::Error { message } => put_str(&mut body, message),
             },
         }
         let mut frame = BytesMut::with_capacity(8 + body.len());
@@ -357,6 +394,7 @@ impl Frame {
             }),
             0x08 => Frame::Request(Request::NumKeys),
             0x09 => Frame::Request(Request::Hello),
+            0x0A => Frame::Request(Request::Metrics),
             0x81 => Frame::Response(Response::Weights {
                 weights: get_f32s(&mut body)?,
                 cost: get_cost(&mut body)?,
@@ -415,6 +453,10 @@ impl Frame {
                 let name = String::from_utf8_lossy(&body.copy_to_bytes(n)).into_owned();
                 Frame::Response(Response::HelloOk { dim, name })
             }
+            0x89 => Frame::Response(Response::Metrics(get_str(&mut body)?)),
+            0x8F => Frame::Response(Response::Error {
+                message: get_str(&mut body)?,
+            }),
             other => return Err(CodecError::UnknownType(other)),
         };
         Ok(frame)
@@ -455,6 +497,7 @@ mod tests {
         roundtrip(Frame::Request(Request::ReadWeights { key: 42 }));
         roundtrip(Frame::Request(Request::NumKeys));
         roundtrip(Frame::Request(Request::Hello));
+        roundtrip(Frame::Request(Request::Metrics));
     }
 
     #[test]
@@ -492,6 +535,13 @@ mod tests {
         roundtrip(Frame::Response(Response::HelloOk {
             dim: 64,
             name: "PMem-OE".into(),
+        }));
+        roundtrip(Frame::Response(Response::Metrics(
+            "# TYPE oe_pulls_total counter\noe_pulls_total 7\n".into(),
+        )));
+        roundtrip(Frame::Response(Response::Metrics(String::new())));
+        roundtrip(Frame::Response(Response::Error {
+            message: "bad magic/version".into(),
         }));
     }
 

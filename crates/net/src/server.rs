@@ -7,12 +7,14 @@ use crate::codec::{Frame, Request, Response};
 use crate::transport::ServerTransport;
 use oe_core::engine::PsEngine;
 use oe_simdevice::Cost;
+use oe_telemetry::{Phase, PhaseTimes, Registry};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A running server; joins its workers on [`ServerHandle::join`].
 pub struct ServerHandle {
     workers: Vec<JoinHandle<u64>>,
+    registry: Arc<Registry>,
 }
 
 impl ServerHandle {
@@ -23,6 +25,12 @@ impl ServerHandle {
             .into_iter()
             .map(|w| w.join().expect("server worker panicked"))
             .sum()
+    }
+
+    /// The server's own telemetry registry (request counters, decode
+    /// failures, per-request decode/execute wall-clock latencies).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 }
 
@@ -36,17 +44,56 @@ impl PsServer {
         transport: ServerTransport,
         threads: usize,
     ) -> ServerHandle {
+        let registry = Arc::new(Registry::new());
+        let requests = registry.counter("rpc_requests_total");
+        let decode_errors = registry.counter("rpc_decode_errors_total");
+        let phases = Arc::new(PhaseTimes::new(
+            &registry,
+            "rpc",
+            &[Phase::RpcDecode, Phase::RpcExecute],
+        ));
         let workers = (0..threads.max(1))
             .map(|_| {
                 let engine = Arc::clone(&engine);
                 let rx = transport.clone_receiver();
+                let registry = Arc::clone(&registry);
+                let requests = requests.clone();
+                let decode_errors = decode_errors.clone();
+                let phases = Arc::clone(&phases);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
                     while let Ok((req, reply)) = rx.recv() {
                         served += 1;
-                        let response = match Frame::decode(req) {
-                            Ok(Frame::Request(r)) => Self::execute(engine.as_ref(), r),
-                            Ok(Frame::Response(_)) | Err(_) => continue, // drop garbage
+                        requests.inc();
+                        let decoded = {
+                            let _span = phases.span(Phase::RpcDecode);
+                            Frame::decode(req)
+                        };
+                        // An undecodable frame still gets a reply: the
+                        // client is blocked waiting on this call, and
+                        // silence would block it forever.
+                        let response = match decoded {
+                            Ok(Frame::Request(Request::Metrics)) => {
+                                let mut text = registry.render_text();
+                                text.push_str(&engine.metrics_text());
+                                Response::Metrics(text)
+                            }
+                            Ok(Frame::Request(r)) => {
+                                let _span = phases.span(Phase::RpcExecute);
+                                Self::execute(engine.as_ref(), r)
+                            }
+                            Ok(Frame::Response(_)) => {
+                                decode_errors.inc();
+                                Response::Error {
+                                    message: "unexpected response frame".to_string(),
+                                }
+                            }
+                            Err(e) => {
+                                decode_errors.inc();
+                                Response::Error {
+                                    message: e.to_string(),
+                                }
+                            }
                         };
                         // A vanished client is not a server error.
                         let _ = reply.send(Frame::Response(response).encode());
@@ -55,7 +102,7 @@ impl PsServer {
                 })
             })
             .collect();
-        ServerHandle { workers }
+        ServerHandle { workers, registry }
     }
 
     fn execute(engine: &dyn PsEngine, req: Request) -> Response {
@@ -92,6 +139,10 @@ impl PsServer {
                 dim: engine.dim() as u32,
                 name: engine.name().to_string(),
             },
+            // Normally intercepted in the worker loop (the server
+            // prepends its own registry); kept here so `execute` stays
+            // total over `Request`.
+            Request::Metrics => Response::Metrics(engine.metrics_text()),
         }
     }
 }
@@ -152,15 +203,24 @@ mod tests {
     }
 
     #[test]
-    fn garbage_frames_are_dropped_not_fatal() {
+    fn garbage_frames_get_an_error_reply() {
         let (client, handle) = spawn_node();
-        // A garbage call gets no reply (dropped) — send it fire-and-forget
-        // from a scoped thread so the test does not block on it.
-        let c2 = client.clone();
-        let garbage = std::thread::spawn(move || {
-            let _ = c2.call(bytes::Bytes::from_static(b"\xde\xad\xbe\xef"));
-        });
-        // The server keeps serving real requests afterwards.
+        // A garbage frame must not be dropped silently — the caller is
+        // blocked on the reply. It gets an error response instead.
+        let resp = Frame::decode(
+            client
+                .call(bytes::Bytes::from_static(b"\xde\xad\xbe\xef"))
+                .unwrap(),
+        )
+        .unwrap();
+        match resp {
+            Frame::Response(Response::Error { message }) => {
+                assert!(!message.is_empty(), "reason travels back");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The server keeps serving real requests afterwards and has
+        // counted the decode failure.
         let resp = Frame::decode(
             client
                 .call(Frame::Request(Request::NumKeys).encode())
@@ -168,8 +228,43 @@ mod tests {
         )
         .unwrap();
         assert_eq!(resp, Frame::Response(Response::Count(0)));
+        assert_eq!(
+            handle
+                .registry()
+                .snapshot()
+                .counter("rpc_decode_errors_total"),
+            Some(1)
+        );
         drop(client);
         handle.join();
-        let _ = garbage; // detached caller never gets a reply; don't join
+    }
+
+    #[test]
+    fn metrics_rpc_renders_server_and_engine_registries() {
+        let (client, handle) = spawn_node();
+        // Generate some traffic first.
+        let pull = Frame::Request(Request::Pull {
+            batch: 1,
+            keys: vec![1, 2, 3],
+        })
+        .encode();
+        let _ = client.call(pull).unwrap();
+        let resp = Frame::decode(
+            client
+                .call(Frame::Request(Request::Metrics).encode())
+                .unwrap(),
+        )
+        .unwrap();
+        let Frame::Response(Response::Metrics(text)) = resp else {
+            panic!("unexpected {resp:?}");
+        };
+        // Server-side metrics.
+        assert!(text.contains("rpc_requests_total"), "text:\n{text}");
+        assert!(text.contains("rpc_decode_latency_ns{quantile=\"0.99\"}"));
+        // Engine-side metrics (PsNode registry appended).
+        assert!(text.contains("oe_pulls_total 3"), "text:\n{text}");
+        assert!(text.contains("oe_pull_latency_ns"));
+        drop(client);
+        handle.join();
     }
 }

@@ -49,6 +49,7 @@
 //! | [`baselines`] | DRAM-PS, Ori-Cache, PMem-Hash, TF-PS, incremental checkpointing |
 //! | [`workload`] | skew models fitted to the paper's trace, Criteo synth, analysis |
 //! | [`train`] | synchronous-training simulator, DeepFM, failure injection, cost model |
+//! | [`telemetry`] | lock-free latency histograms, metric registry, phase spans, text exposition |
 
 pub mod layer;
 
@@ -59,6 +60,7 @@ pub use oe_net as net;
 pub use oe_pmem as pmem;
 pub use oe_serve as serve;
 pub use oe_simdevice as simdevice;
+pub use oe_telemetry as telemetry;
 pub use oe_train as train;
 pub use oe_workload as workload;
 
@@ -73,6 +75,7 @@ pub mod prelude {
     pub use oe_net::{loopback, PsServer, RemotePs};
     pub use oe_serve::{load_image, save_image, ServingNode};
     pub use oe_simdevice::{Cost, CostKind, DeviceTiming, Media, MediaConfig, VirtualClock};
+    pub use oe_telemetry::{Histogram, HistogramSnapshot, Phase, PhaseTimes, Registry};
     pub use oe_train::model::{DeepFm, DeepFmConfig};
     pub use oe_train::{
         CloudCostModel, GpuModel, NetModel, PsDeployment, SyncTrainer, TrainMode, TrainerConfig,

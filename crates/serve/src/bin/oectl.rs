@@ -6,6 +6,7 @@
 //! oectl verify <image>          # checksum-verify every live slot
 //! oectl dump   <image> <key>    # full payload of one key
 //! oectl top    <image> <key> k  # top-k nearest items to <key>'s embedding
+//! oectl metrics <image>         # replay a smoke workload, print telemetry
 //! ```
 //!
 //! Images are produced with `oe_serve::save_image` (see the quickstart
@@ -20,7 +21,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  oectl info   <image>\n  oectl scan   <image> [limit]\n  oectl verify <image>\n  oectl dump   <image> <key>\n  oectl top    <image> <key> [k]"
+        "usage:\n  oectl info    <image>\n  oectl scan    <image> [limit]\n  oectl verify  <image>\n  oectl dump    <image> <key>\n  oectl top     <image> <key> [k]\n  oectl metrics <image> [batches]"
     );
     exit(2);
 }
@@ -138,8 +139,74 @@ fn main() {
                 println!("  key {:<12} score {:+.6}", t.key, t.score);
             }
         }
+        "metrics" => {
+            let batches: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+            metrics(image, batches, &mut cost);
+        }
         _ => usage(),
     }
+}
+
+/// Recover the image into a full training node, replay a smoke workload
+/// against it through the RPC stack, and print the combined telemetry
+/// exposition (server registry + engine registry). This exercises every
+/// recording path end to end: rpc decode/execute spans, pull/push/
+/// maintain/flush/checkpoint histograms, and the engine counters.
+fn metrics(image: oe_simdevice::CrashImage, batches: u64, cost: &mut Cost) {
+    use oe_core::recovery::recover_node;
+    use oe_core::{NodeConfig, OptimizerKind, PsEngine};
+    use oe_net::client::NetCharge;
+    use oe_net::{loopback, PsServer, RemotePs};
+
+    let media = Arc::new(Media::from_crash(image));
+    let Some((pool, report)) = recover(Arc::clone(&media), cost) else {
+        eprintln!("oectl: no initialized pool in image");
+        exit(1);
+    };
+    // Infer the training layout from the payload width: AdaGrad stores
+    // one accumulator per weight (payload = 2 * dim), SGD stores none.
+    let payload = pool.payload_f32s();
+    let cfg = if payload % 2 == 0 {
+        NodeConfig::small(payload / 2)
+    } else {
+        let mut c = NodeConfig::small(payload);
+        c.optimizer = OptimizerKind::Sgd { lr: 0.05 };
+        c
+    };
+    drop(pool);
+    let keys: Vec<u64> = report.live.iter().map(|r| r.key).collect();
+    if keys.is_empty() {
+        eprintln!("oectl: image holds no live entries, nothing to replay");
+        exit(1);
+    }
+    let resume = report.checkpoint_id;
+    let Some((node, _)) = recover_node(media, cfg.clone(), cost) else {
+        eprintln!("oectl: recovery failed");
+        exit(1);
+    };
+
+    let engine: Arc<dyn PsEngine> = Arc::new(node);
+    let (client_t, server_t) = loopback(64);
+    let handle = PsServer::spawn(engine, server_t, 2);
+    let remote = RemotePs::connect(Arc::new(client_t), NetCharge::paper_default());
+
+    let grads = vec![0.0f32; keys.len() * cfg.dim];
+    let mut out = Vec::new();
+    for b in resume + 1..=resume + batches {
+        out.clear();
+        remote.pull(&keys, b, &mut out, cost);
+        remote.end_pull_phase(b);
+        // Zero gradients: the replay must not perturb the model.
+        remote.push(&keys, &grads, b, cost);
+    }
+    remote.request_checkpoint(resume + batches);
+    out.clear();
+    remote.pull(&keys, resume + batches + 1, &mut out, cost);
+    remote.end_pull_phase(resume + batches + 1);
+
+    print!("{}", remote.metrics_text());
+    drop(remote);
+    handle.join();
 }
 
 fn open_serving(image: oe_simdevice::CrashImage) -> ServingNode {

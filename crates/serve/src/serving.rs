@@ -12,6 +12,7 @@ use oe_core::BatchId;
 use oe_pmem::scan::recover;
 use oe_pmem::{PmemPool, SlotId};
 use oe_simdevice::{Cost, CrashImage, Media};
+use oe_telemetry::{Counter, Phase, PhaseTimes, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,6 +39,11 @@ pub struct ServingNode {
     dim: usize,
     checkpoint: BatchId,
     cache: Mutex<ServeCache>,
+    registry: Arc<Registry>,
+    phases: PhaseTimes,
+    hits: Counter,
+    misses: Counter,
+    unknown: Counter,
 }
 
 impl ServingNode {
@@ -58,6 +64,11 @@ impl ServingNode {
         );
         let index = report.live.iter().map(|r| (r.key, r.id)).collect();
         let cap = cache_entries.max(1);
+        let registry = Arc::new(Registry::new());
+        let phases = PhaseTimes::new(&registry, "serve", &[Phase::ServeLookup, Phase::ServeTopk]);
+        let hits = registry.counter("serve_cache_hits_total");
+        let misses = registry.counter("serve_cache_misses_total");
+        let unknown = registry.counter("serve_unknown_keys_total");
         Some(Self {
             dim,
             checkpoint: report.checkpoint_id,
@@ -68,7 +79,24 @@ impl ServingNode {
             }),
             pool,
             index,
+            registry,
+            phases,
+            hits,
+            misses,
+            unknown,
         })
+    }
+
+    /// The serving node's telemetry registry (lookup/top-k latency
+    /// histograms, hit/miss/unknown counters).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Prometheus-style text exposition (what `oectl metrics` prints
+    /// for a serving node).
+    pub fn metrics_text(&self) -> String {
+        self.registry.render_text()
     }
 
     /// Batch id the served model corresponds to.
@@ -90,16 +118,22 @@ impl ServingNode {
     /// Returns false (and appends zeros — the standard missing-feature
     /// convention) if the key is unknown.
     pub fn lookup(&self, key: u64, out: &mut Vec<f32>, cost: &mut Cost) -> bool {
+        // Wall-clock span: a cache hit charges no virtual cost, so
+        // serve-path tails are measured in real time.
+        let _span = self.phases.span(Phase::ServeLookup);
         let Some(&pm_slot) = self.index.get(&key) else {
             out.extend(std::iter::repeat_n(0.0, self.dim));
+            self.unknown.inc();
             return false;
         };
         let mut cache = self.cache.lock();
         if let Some(&slot) = cache.slot_of.get(&key) {
             out.extend_from_slice(&cache.arena.payload(slot)[..self.dim]);
             cache.policy.on_access(slot);
+            self.hits.inc();
             return true;
         }
+        self.misses.inc();
         // Miss: read from PMem, install in the hot cache.
         if cache.arena.is_full() {
             if let Some(victim) = cache.policy.evict() {
@@ -129,6 +163,7 @@ impl ServingNode {
     /// retrieval-style recommender.
     pub fn top_k(&self, query: &[f32], candidates: &[u64], k: usize, cost: &mut Cost) -> Vec<TopK> {
         assert_eq!(query.len(), self.dim, "query dim mismatch");
+        let _span = self.phases.span(Phase::ServeTopk);
         let mut scored: Vec<TopK> = Vec::with_capacity(candidates.len());
         let mut emb = Vec::with_capacity(self.dim);
         for &key in candidates {
@@ -249,6 +284,33 @@ mod tests {
         for w in top.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_hits_misses_and_unknowns() {
+        let (image, _) = trained_image();
+        let mut cost = Cost::new();
+        let node = ServingNode::open(image, DIM, 16, &mut cost).unwrap();
+        let mut out = Vec::new();
+        node.lookup(1, &mut out, &mut cost); // miss (cold cache)
+        node.lookup(1, &mut out, &mut cost); // hit
+        node.lookup(2, &mut out, &mut cost); // miss
+        node.lookup(999_999, &mut out, &mut cost); // unknown
+        let snap = node.registry().snapshot();
+        assert_eq!(snap.counter("serve_cache_hits_total"), Some(1));
+        assert_eq!(snap.counter("serve_cache_misses_total"), Some(2));
+        assert_eq!(snap.counter("serve_unknown_keys_total"), Some(1));
+        let lookups = snap.histogram("serve_lookup_latency_ns").expect("hist");
+        assert_eq!(lookups.count(), 4, "every lookup path records a span");
+        let _ = node.top_k(&vec![1.0; DIM], &[1, 2, 3], 2, &mut cost);
+        let snap = node.registry().snapshot();
+        assert_eq!(snap.histogram("serve_topk_latency_ns").unwrap().count(), 1);
+        let text = node.metrics_text();
+        assert!(text.contains("serve_cache_hits_total"), "text:\n{text}");
+        assert!(
+            text.contains("serve_lookup_latency_ns{quantile=\"0.99\"}"),
+            "text:\n{text}"
+        );
     }
 
     #[test]

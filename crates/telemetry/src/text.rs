@@ -1,0 +1,82 @@
+//! Prometheus-style text exposition.
+//!
+//! Counters and gauges render as `# TYPE` + one sample line;
+//! histograms render as summaries: one `{quantile="…"}` line per
+//! tracked quantile plus `_sum` and `_count`. The output is what
+//! `oectl metrics` prints and what the `Request::Metrics` RPC ships
+//! over the wire.
+
+use crate::registry::{MetricValue, RegistrySnapshot};
+use std::fmt::Write;
+
+const QUANTILES: [(f64, &str); 5] = [
+    (0.5, "0.5"),
+    (0.95, "0.95"),
+    (0.99, "0.99"),
+    (0.999, "0.999"),
+    (1.0, "1"),
+];
+
+/// Render a snapshot in Prometheus text format.
+pub fn render(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.entries {
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} summary");
+                for (q, label) in QUANTILES {
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                }
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let reg = Registry::new();
+        reg.counter("oe_pulls_total").add(42);
+        reg.gauge("oe_committed_batch").set(7);
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE oe_committed_batch gauge"));
+        assert!(text.contains("oe_committed_batch 7"));
+        assert!(text.contains("# TYPE oe_pulls_total counter"));
+        assert!(text.contains("oe_pulls_total 42"));
+    }
+
+    #[test]
+    fn renders_histogram_summary() {
+        let reg = Registry::new();
+        let h = reg.histogram("rpc_execute_latency_ns");
+        for v in [100, 200, 300, 400_000] {
+            h.record(v);
+        }
+        let text = reg.render_text();
+        assert!(text.contains("# TYPE rpc_execute_latency_ns summary"));
+        assert!(text.contains("rpc_execute_latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("rpc_execute_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("rpc_execute_latency_ns{quantile=\"1\"} 400000"));
+        assert!(text.contains("rpc_execute_latency_ns_sum 400600"));
+        assert!(text.contains("rpc_execute_latency_ns_count 4"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(Registry::new().render_text(), "");
+    }
+}

@@ -3,7 +3,8 @@
 use crate::phases::PhaseBreakdown;
 use oe_core::stats::StatsSnapshot;
 use oe_core::BatchId;
-use oe_simdevice::{LatencyHistogram, Nanos};
+use oe_simdevice::Nanos;
+use oe_telemetry::HistogramSnapshot;
 use oe_workload::trace::MsBucket;
 use serde::Serialize;
 
@@ -31,9 +32,13 @@ pub struct TrainReport {
     /// Fig. 2-style per-millisecond trace, when recorded.
     pub trace_per_ms: Option<Vec<MsBucket>>,
     /// Distribution of pull-burst durations across batches.
-    pub pull_hist: LatencyHistogram,
+    pub pull_hist: HistogramSnapshot,
+    /// Distribution of deferred-maintenance durations across batches.
+    pub maintain_hist: HistogramSnapshot,
+    /// Distribution of push-burst durations across batches.
+    pub push_hist: HistogramSnapshot,
     /// Distribution of total batch durations.
-    pub batch_hist: LatencyHistogram,
+    pub batch_hist: HistogramSnapshot,
 }
 
 impl TrainReport {
@@ -58,11 +63,13 @@ impl TrainReport {
         self.total_ns as f64 / baseline.total_ns.max(1) as f64
     }
 
-    /// Tail-latency lines for the pull burst and the whole batch.
+    /// Tail-latency lines for every batch phase and the whole batch.
     pub fn latency_summary(&self) -> String {
         format!(
-            "pull  {}\nbatch {}",
+            "pull     {}\nmaintain {}\npush     {}\nbatch    {}",
             self.pull_hist.summary_ms(),
+            self.maintain_hist.summary_ms(),
+            self.push_hist.summary_ms(),
             self.batch_hist.summary_ms()
         )
     }
@@ -98,8 +105,10 @@ mod tests {
             checkpoints_taken: 0,
             committed_checkpoint: 0,
             trace_per_ms: None,
-            pull_hist: LatencyHistogram::new(),
-            batch_hist: LatencyHistogram::new(),
+            pull_hist: HistogramSnapshot::default(),
+            maintain_hist: HistogramSnapshot::default(),
+            push_hist: HistogramSnapshot::default(),
+            batch_hist: HistogramSnapshot::default(),
         }
     }
 

@@ -14,7 +14,8 @@ use oe_core::engine::PsEngine;
 use oe_core::init::init_weight;
 use oe_core::{BatchId, CheckpointScheduler};
 use oe_simdevice::clock::Nanos;
-use oe_simdevice::{ContentionModel, Cost, LatencyHistogram, VirtualClock};
+use oe_simdevice::{ContentionModel, Cost, VirtualClock};
+use oe_telemetry::Histogram;
 use oe_workload::trace::{TraceKind, TraceRecorder};
 use oe_workload::WorkloadGen;
 
@@ -150,8 +151,13 @@ impl<'a> SyncTrainer<'a> {
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0u64;
         let mut ckpts_taken = 0u64;
-        let mut pull_hist = LatencyHistogram::new();
-        let mut batch_hist = LatencyHistogram::new();
+        // Per-phase virtual-latency distributions (telemetry histograms:
+        // same bucket geometry as the simulator's, snapshotted into the
+        // report for quantile queries and JSON serialization).
+        let pull_hist = Histogram::new();
+        let maintain_hist = Histogram::new();
+        let push_hist = Histogram::new();
+        let batch_hist = Histogram::new();
 
         for b in start_batch..start_batch + batches {
             let mut batch_phase = PhaseBreakdown::default();
@@ -263,6 +269,8 @@ impl<'a> SyncTrainer<'a> {
             }
 
             pull_hist.record(batch_phase.pull_ns);
+            maintain_hist.record(batch_phase.maintain_ns);
+            push_hist.record(batch_phase.push_ns);
             batch_hist.record(batch_phase.total_ns());
             phases.accumulate(&batch_phase);
         }
@@ -286,8 +294,10 @@ impl<'a> SyncTrainer<'a> {
             } else {
                 None
             },
-            pull_hist,
-            batch_hist,
+            pull_hist: pull_hist.snapshot(),
+            maintain_hist: maintain_hist.snapshot(),
+            push_hist: push_hist.snapshot(),
+            batch_hist: batch_hist.snapshot(),
         }
     }
 }
@@ -336,6 +346,17 @@ mod tests {
         );
         assert!(r.phases.compute_ns > 0);
         assert!(r.avg_loss.is_none());
+        // Every phase histogram carries one sample per batch.
+        for (name, h) in [
+            ("pull", &r.pull_hist),
+            ("maintain", &r.maintain_hist),
+            ("push", &r.push_hist),
+            ("batch", &r.batch_hist),
+        ] {
+            assert_eq!(h.count(), 10, "{name} histogram");
+        }
+        assert!(r.batch_hist.p99() >= r.pull_hist.p50(), "batch ⊇ pull");
+        assert!(r.latency_summary().contains("maintain"));
     }
 
     #[test]

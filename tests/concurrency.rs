@@ -152,6 +152,83 @@ fn maintenance_races_with_pulls_without_corruption() {
 }
 
 #[test]
+fn telemetry_registry_consistent_under_writer_reader_race() {
+    // N writer threads hammer counter and histogram handles while a
+    // reader thread snapshots and renders the registry the whole time.
+    // Once the writers join, the totals must be exact — the lock-free
+    // recording path may not drop a single sample.
+    let registry = Arc::new(Registry::new());
+    let n_threads = 8u64;
+    let per_thread = 10_000u64;
+    let stop = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+    let reader = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut renders = 0u64;
+            while stop.load(Ordering::Relaxed) == 0 {
+                let snap = registry.snapshot();
+                if let Some(h) = snap.histogram("race_latency_ns") {
+                    if h.count() > 0 {
+                        // Mid-race quantiles stay inside the observed range.
+                        let p99 = h.p99();
+                        assert!((1..=1_000_000).contains(&p99), "p99 = {p99}");
+                    }
+                }
+                let text = snap.render_text();
+                if snap.counter("race_ops_total").is_some() {
+                    assert!(text.contains("race_ops_total"), "text:\n{text}");
+                }
+                renders += 1;
+            }
+            renders
+        })
+    };
+
+    let writers: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                // Handles are cheap clones of shared atomics; each
+                // thread grabs its own, all feeding the same metrics.
+                let ops = registry.counter("race_ops_total");
+                let hist = registry.histogram("race_latency_ns");
+                for i in 0..per_thread {
+                    ops.inc();
+                    // Spread values over [1, 1e6].
+                    hist.record(1 + (t * per_thread + i) * 999_999 / (n_threads * per_thread));
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    let renders = reader.join().unwrap();
+    assert!(renders > 0, "reader made progress during the race");
+
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("race_ops_total"),
+        Some(n_threads * per_thread),
+        "counter increments all landed"
+    );
+    let h = snap.histogram("race_latency_ns").expect("histogram");
+    assert_eq!(h.count(), n_threads * per_thread, "no sample lost");
+    for q in [0.5, 0.95, 0.99, 0.999] {
+        let v = h.quantile(q);
+        assert!(
+            (h.min()..=h.max()).contains(&v),
+            "quantile({q}) = {v} outside [{}, {}]",
+            h.min(),
+            h.max()
+        );
+    }
+}
+
+#[test]
 fn baselines_survive_parallel_access_too() {
     let mut cfg = NodeConfig::small(DIM);
     cfg.optimizer = OptimizerKind::Sgd { lr: 0.1 };
