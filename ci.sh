@@ -15,4 +15,7 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> pull/push hot-path bench (smoke)"
+cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.json
+
 echo "CI OK"

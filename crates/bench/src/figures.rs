@@ -717,6 +717,19 @@ pub fn latency(sc: &Scenario) {
     println!("(expect: PMem-OE pull tails within a few % of DRAM-PS; Ori-Cache inflated by inline maintenance)");
 }
 
+/// Shard-plan hot-path throughput: legacy per-key vs planned vs
+/// multi-lane execution on a skewed batch (see [`crate::pullpush`]).
+pub fn pullpush(sc: &Scenario) {
+    hr("pullpush — shard-plan batched pull/push throughput");
+    let cfg = if sc.batch_size < 1024 {
+        crate::pullpush::PullPushConfig::smoke()
+    } else {
+        crate::pullpush::PullPushConfig::paper()
+    };
+    let r = crate::pullpush::run(&cfg);
+    crate::pullpush::print_report(&r);
+}
+
 /// Run everything.
 pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     table1(sc);
@@ -736,4 +749,5 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     fig15(sc);
     latency(sc);
     ablations(sc);
+    pullpush(sc);
 }

@@ -9,11 +9,16 @@
 //! - [`figures`] — one function per paper artifact (`table1` … `fig15`),
 //!   each printing the measured series next to the paper's published
 //!   values.
+//! - [`pullpush`] — shard-plan hot-path throughput microbenchmark
+//!   (legacy per-key vs planned vs multi-lane execution), emitted as
+//!   `BENCH_pullpush.json` by the `pullpush` binary.
 //!
 //! Run `cargo run --release -p oe-bench --bin figures -- all` (or a
 //! single id, or `--quick` for a fast pass).
 
 pub mod figures;
+pub mod pullpush;
 pub mod scenario;
 
+pub use pullpush::{PullPushConfig, PullPushReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};

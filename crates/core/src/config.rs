@@ -20,6 +20,18 @@ pub const LRU_OP_NS: u64 = 25;
 pub const OPT_FLOP_NS_PER_F32: u64 = 1;
 /// CPU cost of initializing a brand-new entry (ns, excl. memory traffic).
 pub const INIT_ENTRY_NS: u64 = 150;
+/// Per-key CPU cost of bucketing a request's keys by shard (ns).
+pub const PLAN_KEY_NS: u64 = 4;
+/// Per-key CPU cost of duplicate-key coalescing within a shard group
+/// (one hash-map probe + occurrence-list append, ns).
+pub const DEDUP_KEY_NS: u64 = 6;
+/// Per-occurrence CPU cost of fanning a deduped payload out to the
+/// response buffer during the merge stage (ns; the row itself was read
+/// once per *unique* key).
+pub const FANOUT_KEY_NS: u64 = 8;
+/// CPU cost of one shard-lock acquisition (ns). The per-key path pays
+/// this for every key; the shard-plan path pays it once per shard group.
+pub const SHARD_LOCK_NS: u64 = 30;
 
 /// Configuration of one [`crate::PsNode`].
 #[derive(Debug, Clone, Serialize)]
@@ -53,6 +65,19 @@ pub struct NodeConfig {
     /// Cache admission policy (the paper admits always; the doorkeeper
     /// filters one-hit wonders).
     pub admission: AdmissionKind,
+    /// Pull/push execution lanes for the shard-plan hot path (the
+    /// paper's "multiple threads pre-allocated" on the PS):
+    ///
+    /// - `0` — legacy per-key execution: one lock acquisition per key,
+    ///   no duplicate coalescing. Kept as the A/B baseline for the
+    ///   `pullpush` bench.
+    /// - `1` — shard-plan execution, single lane: keys are bucketed by
+    ///   shard, deduplicated per group, and each shard lock is taken
+    ///   exactly once per request.
+    /// - `n > 1` — shard groups execute on `n` parallel lanes; lane
+    ///   costs merge as max-over-lanes for parallelizable cost kinds
+    ///   (see `oe_simdevice::CostKind::lane_parallel`).
+    pub parallelism: usize,
 }
 
 impl NodeConfig {
@@ -74,6 +99,7 @@ impl NodeConfig {
             seed: 42,
             replacement: PolicyKind::Lru,
             admission: AdmissionKind::Always,
+            parallelism: 1,
         }
     }
 

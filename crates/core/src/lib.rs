@@ -17,7 +17,11 @@
 //! - **recovery** ([`recovery`]): scan PMem, discard post-checkpoint
 //!   versions, rebuild the DRAM hash index — no data copy;
 //! - a **sharded cluster** ([`cluster::Cluster`]) hashing keys across PS
-//!   nodes.
+//!   nodes;
+//! - a **shard-plan hot path** ([`plan`]): batch keys are bucketed by
+//!   shard, duplicates coalesced, and shard groups executed on parallel
+//!   lanes with one lock acquisition per shard per request (the
+//!   [`config::NodeConfig::parallelism`] knob).
 //!
 //! Engines (this one and the baselines in `oe-baselines`) implement the
 //! [`engine::PsEngine`] trait consumed by the training simulator.
@@ -29,6 +33,7 @@ pub mod engine;
 pub mod init;
 pub mod node;
 pub mod optimizer;
+pub mod plan;
 pub mod recovery;
 pub mod stats;
 
@@ -38,6 +43,7 @@ pub use config::{NodeConfig, CACHE_ENTRY_OVERHEAD_BYTES};
 pub use engine::{MaintenanceReport, PsEngine};
 pub use node::PsNode;
 pub use optimizer::{Optimizer, OptimizerKind};
+pub use plan::{ShardBuckets, ShardGroup, ShardPlan};
 pub use stats::{EngineStats, StatsSnapshot};
 
 /// Embedding key (re-exported from `oe-cache`).

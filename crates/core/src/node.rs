@@ -26,11 +26,13 @@
 //! is then ≤ cp at request time, which closes the flush-before-bump race.
 
 use crate::config::{
-    NodeConfig, ACCESS_QUEUE_NS, HASH_PROBE_NS, INIT_ENTRY_NS, LRU_OP_NS, OPT_FLOP_NS_PER_F32,
+    NodeConfig, ACCESS_QUEUE_NS, DEDUP_KEY_NS, FANOUT_KEY_NS, HASH_PROBE_NS, INIT_ENTRY_NS,
+    LRU_OP_NS, OPT_FLOP_NS_PER_F32, PLAN_KEY_NS, SHARD_LOCK_NS,
 };
 use crate::engine::{MaintenanceReport, PsEngine};
 use crate::init::init_payload;
 use crate::optimizer::Optimizer;
+use crate::plan::{ShardBuckets, ShardGroup, ShardPlan};
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::{BatchId, Key};
 use oe_cache::chain::CHAIN_CAP;
@@ -39,8 +41,9 @@ use oe_cache::{AccessQueue, Admission, DramArena, HashIndex, TaggedLoc, VersionC
 use oe_pmem::{PmemPool, PoolConfig};
 use oe_simdevice::{Cost, CostKind, DeviceTiming};
 use oe_telemetry::{Gauge, Phase, PhaseTimes, Registry};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockUpgradableReadGuard, RwLockWriteGuard};
 use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -59,6 +62,33 @@ struct Shard {
     policy: Box<dyn EvictionPolicy>,
     /// Admission filter consulted before loading a missed key.
     admission: Admission,
+}
+
+/// How one *unique* key of a planned pull was served. Recorded by the
+/// execute stage and settled into stats by the merge stage, weighted by
+/// the key's occurrence count so the accounting identity
+/// `hits + misses + new_entries == pulls` holds exactly as it does on
+/// the per-key path.
+#[derive(Debug, Clone, Copy)]
+enum PullOutcome {
+    /// Served from the DRAM cache.
+    Hit,
+    /// Served from PMem.
+    Miss,
+    /// First touch, admitted into the cache.
+    NewAdmitted,
+    /// First touch, declined by the doorkeeper (initialized in PMem).
+    NewDeclined,
+}
+
+/// One execution lane's output for a planned pull: the deduped payloads
+/// (uniques × dim, in the lane's group order), one outcome per unique,
+/// and the lane's virtual-time cost (folded max-over-lanes for
+/// parallelizable kinds by [`Cost::merge_parallel`]).
+struct PullLane {
+    weights: Vec<f32>,
+    outcomes: Vec<PullOutcome>,
+    cost: Cost,
 }
 
 /// The OpenEmbedding parameter-server node ("PMem-OE").
@@ -118,6 +148,10 @@ impl PsNode {
                 Phase::Flush,
                 Phase::CkptCommit,
                 Phase::Push,
+                Phase::Plan,
+                Phase::Dedup,
+                Phase::Execute,
+                Phase::Merge,
             ],
         );
         let committed_gauge = registry.gauge("oe_committed_batch");
@@ -543,12 +577,23 @@ impl PsNode {
         );
     }
 
-    /// Algorithm 1 (pull weights) over the DRAM cache.
-    fn pull_cached(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+    /// Algorithm 1 (pull weights) over the DRAM cache, per-key execution:
+    /// one lock acquisition and one payload access per occurrence. Kept
+    /// as the `parallelism = 0` A/B baseline for the shard-plan path.
+    fn pull_cached_legacy(
+        &self,
+        keys: &[Key],
+        batch: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) {
         let dim = self.cfg.dim;
         let mut scratch = vec![0f32; self.cfg.payload_f32s()];
         for &key in keys {
-            cost.charge(CostKind::Cpu, HASH_PROBE_NS + ACCESS_QUEUE_NS);
+            cost.charge(
+                CostKind::Cpu,
+                HASH_PROBE_NS + ACCESS_QUEUE_NS + SHARD_LOCK_NS,
+            );
             let sid = self.shard_of(key);
             let guard = self.shards[sid].upgradable_read();
             let known = guard.index.get(key).map(|e| (e.loc, e.version));
@@ -612,13 +657,18 @@ impl PsNode {
         }
     }
 
-    /// Gradient application over the DRAM cache.
-    fn push_cached(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+    /// Gradient application over the DRAM cache, per-key execution
+    /// (`parallelism = 0` A/B baseline). Boundaries are stable within a
+    /// request and the scratch payload is key-independent, so both are
+    /// hoisted out of the per-key loop.
+    fn push_cached_legacy(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
         let dim = self.cfg.dim;
+        let (boundaries, _, protect_max) = self.boundaries();
+        let mut scratch = vec![0f32; self.cfg.payload_f32s()];
         for (i, &key) in keys.iter().enumerate() {
             cost.charge(
                 CostKind::Cpu,
-                HASH_PROBE_NS + dim as u64 * OPT_FLOP_NS_PER_F32,
+                HASH_PROBE_NS + SHARD_LOCK_NS + dim as u64 * OPT_FLOP_NS_PER_F32,
             );
             cost.charge(CostKind::DramTransfer, self.dram.write_ns((dim * 4) as u64));
             let sid = self.shard_of(key);
@@ -633,15 +683,13 @@ impl PsNode {
                 Some(s) => s,
                 None => {
                     let pm_slot = loc.as_pmem().expect("tagged loc");
-                    let mut payload = vec![0f32; self.cfg.payload_f32s()];
                     self.pool
-                        .read_slot(pm_slot, &mut payload, cost)
+                        .read_slot(pm_slot, &mut scratch, cost)
                         .expect("indexed slot valid");
-                    self.opt.apply(dim, &mut payload, grad);
-                    let (boundaries, _, _) = self.boundaries();
+                    self.opt.apply(dim, &mut scratch, grad);
                     let Shard { index, .. } = &mut *g;
                     let e = index.get_mut(key).expect("indexed");
-                    self.flush_payload(key, batch, &payload, &mut e.chain, &boundaries, cost);
+                    self.flush_payload(key, batch, &scratch, &mut e.chain, &boundaries, cost);
                     let (newest, _) = e.chain.newest().expect("just flushed");
                     e.loc = TaggedLoc::pmem(newest);
                     e.version = batch;
@@ -653,7 +701,6 @@ impl PsNode {
             // may be needed by a pending checkpoint and is not yet
             // persisted, flush first (normally maintenance already did).
             let v = g.arena.version(slot);
-            let (boundaries, _, protect_max) = self.boundaries();
             let Shard { index, arena, .. } = &mut *g;
             let e = index.get_mut(key).expect("indexed");
             if v <= protect_max && v < batch && arena.is_dirty(slot) {
@@ -665,6 +712,330 @@ impl PsNode {
             arena.set_dirty(slot, true);
             EngineStats::add(&self.stats.pushes, 1);
         }
+    }
+
+    /// Build the request's [`ShardPlan`], charging the plan and dedup
+    /// stages (pure CPU bookkeeping, proportional to occurrences).
+    fn build_plan(&self, keys: &[Key], cost: &mut Cost) -> ShardPlan {
+        let plan_ns = PLAN_KEY_NS * keys.len() as u64;
+        cost.charge(CostKind::Cpu, plan_ns);
+        let buckets = ShardBuckets::bucket(keys, self.shards.len(), |k| self.shard_of(k));
+        self.phases.record_ns(Phase::Plan, plan_ns);
+        let dedup_ns = DEDUP_KEY_NS * keys.len() as u64;
+        cost.charge(CostKind::Cpu, dedup_ns);
+        let plan = buckets.coalesce();
+        self.phases.record_ns(Phase::Dedup, dedup_ns);
+        plan
+    }
+
+    /// Execute one shard group of a planned pull: the shard lock is
+    /// taken exactly once (upgraded transiently for first-touch
+    /// inserts), every unique key's payload is read exactly once.
+    fn pull_group(
+        &self,
+        group: &ShardGroup,
+        batch: BatchId,
+        boundaries: &[BatchId],
+        lane: &mut PullLane,
+        scratch: &mut [f32],
+    ) {
+        let dim = self.cfg.dim;
+        let cost = &mut lane.cost;
+        cost.charge(CostKind::Cpu, SHARD_LOCK_NS);
+        let mut guard = self.shards[group.shard].upgradable_read();
+        for &key in &group.uniques {
+            cost.charge(CostKind::Cpu, HASH_PROBE_NS + ACCESS_QUEUE_NS);
+            let known = guard.index.get(key).map(|e| e.loc);
+            match known {
+                Some(loc) => {
+                    if let Some(slot) = loc.as_dram() {
+                        lane.weights
+                            .extend_from_slice(&guard.arena.payload(slot)[..dim]);
+                        cost.charge(CostKind::DramTransfer, self.dram.read_ns((dim * 4) as u64));
+                        lane.outcomes.push(PullOutcome::Hit);
+                    } else {
+                        let slot = loc.as_pmem().unwrap();
+                        self.pool
+                            .read_slot(slot, scratch, cost)
+                            .expect("indexed slot valid");
+                        lane.weights.extend_from_slice(&scratch[..dim]);
+                        lane.outcomes.push(PullOutcome::Miss);
+                    }
+                }
+                None => {
+                    // First touch (Alg. 1 lines 6-12): upgrade to a write
+                    // lock for the insert, then downgrade and continue
+                    // with the rest of the group.
+                    let mut g = RwLockUpgradableReadGuard::upgrade(guard);
+                    cost.charge(CostKind::Serialized, INIT_ENTRY_NS);
+                    if g.admission.admit(key) {
+                        if g.arena.is_full() {
+                            self.evict_one(&mut g, boundaries, cost);
+                        }
+                        let slot = g.arena.insert(key, batch).expect("slot available");
+                        init_payload(
+                            self.cfg.seed,
+                            key,
+                            self.cfg.init_scale,
+                            dim,
+                            g.arena.payload_mut(slot),
+                        );
+                        g.index.insert_new_dram(key, slot, batch);
+                        g.policy.on_insert(slot);
+                        lane.weights
+                            .extend_from_slice(&g.arena.payload(slot)[..dim]);
+                        lane.outcomes.push(PullOutcome::NewAdmitted);
+                    } else {
+                        // Doorkeeper declined: initialize straight to
+                        // PMem; the cache stays clean of singletons.
+                        init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, scratch);
+                        let slot = self.pool.alloc(cost);
+                        self.pool.write_slot(slot, key, batch, scratch, cost);
+                        g.index.insert_recovered(key, slot, batch);
+                        lane.weights.extend_from_slice(&scratch[..dim]);
+                        lane.outcomes.push(PullOutcome::NewDeclined);
+                    }
+                    guard = RwLockWriteGuard::downgrade_to_upgradable(g);
+                }
+            }
+        }
+    }
+
+    /// Shard-plan pull: bucket → dedup → parallel lane execute → merge.
+    /// Weights are bit-identical to the per-key path (same reads, same
+    /// init); stats are occurrence-weighted so snapshots match too.
+    fn pull_planned(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
+        let dim = self.cfg.dim;
+        let plan = self.build_plan(keys, cost);
+        let (boundaries, _, _) = self.boundaries();
+        let lanes = plan.partition(self.cfg.parallelism);
+
+        let run_lane = |range: &Range<usize>| -> PullLane {
+            let mut lane = PullLane {
+                weights: Vec::with_capacity(plan.total_uniques * dim),
+                outcomes: Vec::new(),
+                cost: Cost::new(),
+            };
+            let mut scratch = vec![0f32; self.cfg.payload_f32s()];
+            for group in &plan.groups[range.clone()] {
+                self.pull_group(group, batch, &boundaries, &mut lane, &mut scratch);
+            }
+            lane
+        };
+        let lane_results: Vec<PullLane> = if lanes.len() <= 1 {
+            lanes.iter().map(run_lane).collect()
+        } else {
+            std::thread::scope(|s| {
+                let run_lane = &run_lane;
+                let handles: Vec<_> = lanes.iter().map(|r| s.spawn(move || run_lane(r))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pull lane panicked"))
+                    .collect()
+            })
+        };
+
+        // Lane costs compose max-over-lanes for parallelizable kinds,
+        // sum for serialized/bandwidth-contended ones.
+        let mut par = Cost::new();
+        for lane in &lane_results {
+            par.merge_parallel(&lane.cost);
+        }
+        self.phases.record_ns(Phase::Execute, par.total_ns());
+        cost.merge(&par);
+
+        // Merge: fan each deduped payload out to its original request
+        // positions, append the access queue once per unique (in stable
+        // group order, so maintenance is identical at any lane count),
+        // and settle occurrence-weighted stats.
+        let merge_ns = FANOUT_KEY_NS * plan.total_keys as u64;
+        cost.charge(CostKind::Cpu, merge_ns);
+        let base = out.len();
+        out.resize(base + keys.len() * dim, 0.0);
+        for (lane, range) in lane_results.iter().zip(&lanes) {
+            let mut ul = 0; // unique cursor within the lane
+            for group in &plan.groups[range.clone()] {
+                for (ui, &key) in group.uniques.iter().enumerate() {
+                    let w = &lane.weights[ul * dim..(ul + 1) * dim];
+                    let cnt = group.occs[ui].len() as u64;
+                    for &pos in &group.occs[ui] {
+                        let dst = base + pos as usize * dim;
+                        out[dst..dst + dim].copy_from_slice(w);
+                    }
+                    match lane.outcomes[ul] {
+                        PullOutcome::Hit => EngineStats::add(&self.stats.hits, cnt),
+                        PullOutcome::Miss => EngineStats::add(&self.stats.misses, cnt),
+                        PullOutcome::NewAdmitted => {
+                            EngineStats::add(&self.stats.new_entries, 1);
+                            // Repeat occurrences read the just-inserted
+                            // DRAM entry: cache hits.
+                            EngineStats::add(&self.stats.hits, cnt - 1);
+                        }
+                        PullOutcome::NewDeclined => {
+                            EngineStats::add(&self.stats.new_entries, 1);
+                            // Repeat occurrences read the PMem copy.
+                            EngineStats::add(&self.stats.misses, cnt - 1);
+                        }
+                    }
+                    self.access_queue.push(key);
+                    ul += 1;
+                }
+            }
+        }
+        EngineStats::add(&self.stats.pulls, plan.total_keys as u64);
+        self.phases.record_ns(Phase::Merge, merge_ns);
+
+        if !self.cfg.enable_pipeline {
+            self.maintain_inline(batch, cost);
+        }
+    }
+
+    /// Apply every occurrence's gradient to `payload`. Optimizers whose
+    /// update is linear in the gradient coalesce duplicates into one
+    /// summed apply; stateful optimizers fall back to ordered sequential
+    /// applies, bit-identical to separate pushes.
+    fn apply_occurrences(
+        &self,
+        payload: &mut [f32],
+        grads: &[f32],
+        occs: &[u32],
+        gsum: &mut [f32],
+        cost: &mut Cost,
+    ) {
+        let dim = self.cfg.dim;
+        let grad_at = |pos: u32| {
+            let p = pos as usize;
+            &grads[p * dim..(p + 1) * dim]
+        };
+        if self.opt.coalescible() && occs.len() > 1 {
+            gsum.copy_from_slice(grad_at(occs[0]));
+            for &pos in &occs[1..] {
+                for (s, g) in gsum.iter_mut().zip(grad_at(pos)) {
+                    *s += g;
+                }
+            }
+            // (n-1) vector adds + one optimizer apply, one row write.
+            cost.charge(
+                CostKind::Cpu,
+                occs.len() as u64 * dim as u64 * OPT_FLOP_NS_PER_F32,
+            );
+            cost.charge(CostKind::DramTransfer, self.dram.write_ns((dim * 4) as u64));
+            self.opt.apply(dim, payload, gsum);
+        } else {
+            for &pos in occs {
+                cost.charge(CostKind::Cpu, dim as u64 * OPT_FLOP_NS_PER_F32);
+                cost.charge(CostKind::DramTransfer, self.dram.write_ns((dim * 4) as u64));
+                self.opt.apply(dim, payload, grad_at(pos));
+            }
+        }
+    }
+
+    /// Execute one shard group of a planned push under a single write
+    /// lock acquisition.
+    fn push_group(
+        &self,
+        group: &ShardGroup,
+        grads: &[f32],
+        batch: BatchId,
+        boundaries: &[BatchId],
+        protect_max: BatchId,
+        scratch: &mut [f32],
+        gsum: &mut [f32],
+        cost: &mut Cost,
+    ) {
+        cost.charge(CostKind::Cpu, SHARD_LOCK_NS);
+        let mut g = self.shards[group.shard].write();
+        for (ui, &key) in group.uniques.iter().enumerate() {
+            cost.charge(CostKind::Cpu, HASH_PROBE_NS);
+            let occs = &group.occs[ui];
+            let loc = g.index.get(key).expect("pushed key must exist").loc;
+            match loc.as_dram() {
+                Some(slot) => {
+                    let v = g.arena.version(slot);
+                    let Shard { index, arena, .. } = &mut *g;
+                    let e = index.get_mut(key).expect("indexed");
+                    if v <= protect_max && v < batch && arena.is_dirty(slot) {
+                        self.flush_payload(
+                            key,
+                            v,
+                            arena.payload(slot),
+                            &mut e.chain,
+                            boundaries,
+                            cost,
+                        );
+                    }
+                    arena.set_version(slot, batch);
+                    e.version = batch;
+                    self.apply_occurrences(arena.payload_mut(slot), grads, occs, gsum, cost);
+                    arena.set_dirty(slot, true);
+                }
+                None => {
+                    // PMem-resident: one RMW for all occurrences — read
+                    // once, apply all, flush once.
+                    let pm_slot = loc.as_pmem().expect("tagged loc");
+                    self.pool
+                        .read_slot(pm_slot, scratch, cost)
+                        .expect("indexed slot valid");
+                    self.apply_occurrences(scratch, grads, occs, gsum, cost);
+                    let Shard { index, .. } = &mut *g;
+                    let e = index.get_mut(key).expect("indexed");
+                    self.flush_payload(key, batch, scratch, &mut e.chain, boundaries, cost);
+                    let (newest, _) = e.chain.newest().expect("just flushed");
+                    e.loc = TaggedLoc::pmem(newest);
+                    e.version = batch;
+                }
+            }
+            EngineStats::add(&self.stats.pushes, occs.len() as u64);
+        }
+    }
+
+    /// Shard-plan push: bucket → dedup → parallel lane execute. Final
+    /// weights match the per-key path (coalescing is gated on gradient
+    /// linearity; stateful optimizers apply sequentially in request
+    /// order within each key).
+    fn push_planned(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        let dim = self.cfg.dim;
+        let plan = self.build_plan(keys, cost);
+        let (boundaries, _, protect_max) = self.boundaries();
+        let lanes = plan.partition(self.cfg.parallelism);
+
+        let run_lane = |range: &Range<usize>| -> Cost {
+            let mut lcost = Cost::new();
+            let mut scratch = vec![0f32; self.cfg.payload_f32s()];
+            let mut gsum = vec![0f32; dim];
+            for group in &plan.groups[range.clone()] {
+                self.push_group(
+                    group,
+                    grads,
+                    batch,
+                    &boundaries,
+                    protect_max,
+                    &mut scratch,
+                    &mut gsum,
+                    &mut lcost,
+                );
+            }
+            lcost
+        };
+        let lane_costs: Vec<Cost> = if lanes.len() <= 1 {
+            lanes.iter().map(run_lane).collect()
+        } else {
+            std::thread::scope(|s| {
+                let run_lane = &run_lane;
+                let handles: Vec<_> = lanes.iter().map(|r| s.spawn(move || run_lane(r))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("push lane panicked"))
+                    .collect()
+            })
+        };
+
+        let mut par = Cost::new();
+        for lane in &lane_costs {
+            par.merge_parallel(lane);
+        }
+        self.phases.record_ns(Phase::Execute, par.total_ns());
+        cost.merge(&par);
     }
 }
 
@@ -681,7 +1052,11 @@ impl PsEngine for PsNode {
         let t0 = cost.total_ns();
         out.reserve(keys.len() * self.cfg.dim);
         if self.cfg.enable_cache {
-            self.pull_cached(keys, batch, out, cost);
+            if self.cfg.parallelism == 0 {
+                self.pull_cached_legacy(keys, batch, out, cost);
+            } else {
+                self.pull_planned(keys, batch, out, cost);
+            }
         } else {
             self.pull_uncached(keys, batch, out, cost);
         }
@@ -707,7 +1082,11 @@ impl PsEngine for PsNode {
         assert_eq!(grads.len(), keys.len() * self.cfg.dim, "grad shape");
         let t0 = cost.total_ns();
         if self.cfg.enable_cache {
-            self.push_cached(keys, grads, batch, cost);
+            if self.cfg.parallelism == 0 {
+                self.push_cached_legacy(keys, grads, batch, cost);
+            } else {
+                self.push_planned(keys, grads, batch, cost);
+            }
         } else {
             self.push_uncached(keys, grads, batch, cost);
         }
@@ -964,6 +1343,100 @@ mod tests {
         let text = n.metrics_text();
         assert!(text.contains("oe_pulls_total"));
         assert!(text.contains("oe_pull_latency_ns{quantile=\"0.99\"}"));
+
+        // Shard-plan stages record one sample per planned request
+        // (2 pulls + 1 push); merge only runs on pulls.
+        for h in [
+            "oe_plan_latency_ns",
+            "oe_dedup_latency_ns",
+            "oe_execute_latency_ns",
+        ] {
+            assert_eq!(snap.histogram(h).unwrap().count(), 3, "{h}");
+        }
+        assert_eq!(snap.histogram("oe_merge_latency_ns").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_pulls_coalesce_to_one_entry() {
+        let n = node(16);
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        n.pull(&[5, 5, 5], 1, &mut out, &mut cost);
+        // One first-touch init, two occurrence fan-outs counted as hits.
+        let s = n.stats();
+        assert_eq!(s.pulls, 3);
+        assert_eq!(s.new_entries, 1);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(&out[0..4], &out[4..8]);
+        assert_eq!(&out[0..4], &out[8..12]);
+        // Exactly one Serialized init despite three occurrences.
+        assert_eq!(cost.ops(CostKind::Serialized), 1);
+    }
+
+    #[test]
+    fn planned_matches_legacy_on_distinct_keys() {
+        let mk = |parallelism: usize| {
+            let mut cfg = NodeConfig::small(4);
+            cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+            cfg.cache_bytes = 8 * cfg.bytes_per_cached_entry();
+            cfg.shards = 4;
+            cfg.parallelism = parallelism;
+            PsNode::new(cfg)
+        };
+        let legacy = mk(0);
+        let planned = mk(1);
+        let keys: Vec<u64> = (0..32).collect();
+        let grads: Vec<f32> = (0..32 * 4).map(|i| (i % 7) as f32 * 0.125).collect();
+        for n in [&legacy, &planned] {
+            let mut out = Vec::new();
+            let mut cost = Cost::new();
+            n.pull(&keys, 1, &mut out, &mut cost);
+            n.end_pull_phase(1);
+            n.push(&keys, &grads, 1, &mut cost);
+        }
+        for &k in &keys {
+            assert_eq!(legacy.read_weights(k), planned.read_weights(k), "key {k}");
+        }
+        assert_eq!(legacy.stats(), planned.stats());
+    }
+
+    #[test]
+    fn parallel_lanes_match_single_lane() {
+        let mk = |parallelism: usize| {
+            let mut cfg = NodeConfig::small(4);
+            cfg.cache_bytes = 16 * cfg.bytes_per_cached_entry();
+            cfg.shards = 8;
+            cfg.parallelism = parallelism;
+            PsNode::new(cfg)
+        };
+        let serial = mk(1);
+        let parallel = mk(4);
+        // Skewed batch with duplicates scattered across shards.
+        let keys: Vec<u64> = (0..64).map(|i| (i * i) % 24).collect();
+        let grads: Vec<f32> = (0..64 * 4).map(|i| ((i % 5) as f32 - 2.0) * 0.25).collect();
+        for n in [&serial, &parallel] {
+            let mut out = Vec::new();
+            let mut cost = Cost::new();
+            n.pull(&keys, 1, &mut out, &mut cost);
+            n.end_pull_phase(1);
+            n.push(&keys, &grads, 1, &mut cost);
+        }
+        let mut so = Vec::new();
+        let mut po = Vec::new();
+        let mut sc = Cost::new();
+        let mut pc = Cost::new();
+        serial.pull(&keys, 2, &mut so, &mut sc);
+        parallel.pull(&keys, 2, &mut po, &mut pc);
+        assert_eq!(so, po, "weights identical across lane counts");
+        assert_eq!(serial.stats(), parallel.stats());
+        assert_eq!(
+            sc.ns(CostKind::Serialized),
+            pc.ns(CostKind::Serialized),
+            "Serialized never parallelizes"
+        );
+        // The parallel request simulates faster on a skewed batch.
+        assert!(pc.total_ns() <= sc.total_ns());
     }
 
     #[test]

@@ -55,6 +55,16 @@ impl OptimizerKind {
     pub fn build(self) -> Optimizer {
         Optimizer { kind: self }
     }
+
+    /// True if the update is *linear in the gradient*, so duplicate
+    /// gradients for one key may be summed and applied in a single step:
+    /// `w -= lr·g₁; w -= lr·g₂` ≡ `w -= lr·(g₁+g₂)` for SGD. Stateful
+    /// optimizers (AdaGrad's accumulator, Adam's moments) update their
+    /// state *between* applies, so coalescing would change the result —
+    /// they fall back to sequential per-occurrence applies.
+    pub fn coalescible(&self) -> bool {
+        matches!(self, OptimizerKind::Sgd { .. })
+    }
 }
 
 /// Applies gradients to an entry payload in place.
@@ -67,6 +77,11 @@ impl Optimizer {
     /// The configured kind.
     pub fn kind(&self) -> OptimizerKind {
         self.kind
+    }
+
+    /// See [`OptimizerKind::coalescible`].
+    pub fn coalescible(&self) -> bool {
+        self.kind.coalescible()
     }
 
     /// Apply gradient `grad` (length `dim`) to `payload`
@@ -159,6 +174,35 @@ mod tests {
         assert_eq!(p[3], 1.0, "step counter advanced");
         opt.apply(1, &mut p, &[1.0]);
         assert_eq!(p[3], 2.0);
+    }
+
+    #[test]
+    fn coalescibility_gate() {
+        assert!(OptimizerKind::Sgd { lr: 0.1 }.coalescible());
+        assert!(!OptimizerKind::Adagrad { lr: 0.1, eps: 0.0 }.coalescible());
+        assert!(!OptimizerKind::Adam {
+            lr: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8
+        }
+        .coalescible());
+    }
+
+    #[test]
+    fn sgd_coalesced_matches_sequential_exactly() {
+        // Power-of-two values: both orders of summation are exact in f32,
+        // so coalescing must be *bit-identical* to sequential applies.
+        let opt = OptimizerKind::Sgd { lr: 1.0 }.build();
+        let g1 = [0.5f32, -0.25];
+        let g2 = [0.25f32, 0.5];
+        let mut seq = vec![2.0f32, -4.0];
+        opt.apply(2, &mut seq, &g1);
+        opt.apply(2, &mut seq, &g2);
+        let mut coalesced = vec![2.0f32, -4.0];
+        let sum: Vec<f32> = g1.iter().zip(&g2).map(|(a, b)| a + b).collect();
+        opt.apply(2, &mut coalesced, &sum);
+        assert_eq!(seq, coalesced);
     }
 
     #[test]

@@ -49,6 +49,20 @@ impl CostKind {
         CostKind::Net,
     ];
 
+    /// True if work of this kind charged on *distinct parallel lanes*
+    /// overlaps in time, so a lane merge takes the max over lanes:
+    /// per-lane CPU work runs on separate cores, DRAM transfers are far
+    /// from the bandwidth wall at our scales, and media *reads* have
+    /// enough bandwidth headroom to overlap (RecNMP/TensorDIMM's case).
+    /// Everything else contends for a single resource — PMem/SSD write
+    /// bandwidth, the network, global-lock critical sections — and sums.
+    pub fn lane_parallel(self) -> bool {
+        matches!(
+            self,
+            CostKind::Cpu | CostKind::DramTransfer | CostKind::PmemRead
+        )
+    }
+
     /// Stable short name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -114,6 +128,28 @@ impl Cost {
         for i in 0..N_KINDS {
             self.ns[i] += other.ns[i];
             self.ops[i] += other.ops[i];
+        }
+    }
+
+    /// Merge one *parallel lane* into this accumulator: nanoseconds of
+    /// [`CostKind::lane_parallel`] kinds take the max over lanes (the
+    /// lanes run concurrently, so the slowest lane bounds the phase),
+    /// while serialized/bandwidth-contended kinds sum. Operation
+    /// counters always sum — they count events, not time.
+    ///
+    /// The accumulator must start empty and absorb only sibling lanes of
+    /// one parallel phase; fold the result into the request's cost with
+    /// [`Self::merge`] afterwards (which sums, as the phase as a whole is
+    /// sequential with the rest of the request).
+    pub fn merge_parallel(&mut self, lane: &Cost) {
+        for kind in CostKind::ALL {
+            let i = kind as usize;
+            if kind.lane_parallel() {
+                self.ns[i] = self.ns[i].max(lane.ns[i]);
+            } else {
+                self.ns[i] += lane.ns[i];
+            }
+            self.ops[i] += lane.ops[i];
         }
     }
 
@@ -211,6 +247,53 @@ mod tests {
         assert!(format!("{c}").contains("cpu=2us"));
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn parallel_lane_merge_maxes_parallel_kinds_and_sums_serial() {
+        let mut a = Cost::new();
+        a.charge(CostKind::Cpu, 100);
+        a.charge(CostKind::PmemRead, 40);
+        a.charge(CostKind::Serialized, 10);
+        a.charge(CostKind::PmemWrite, 5);
+        let mut b = Cost::new();
+        b.charge(CostKind::Cpu, 300);
+        b.charge(CostKind::Serialized, 20);
+        b.charge(CostKind::PmemWrite, 7);
+
+        let mut acc = Cost::new();
+        acc.merge_parallel(&a);
+        acc.merge_parallel(&b);
+        // Parallel kinds: max over lanes.
+        assert_eq!(acc.ns(CostKind::Cpu), 300);
+        assert_eq!(acc.ns(CostKind::PmemRead), 40);
+        // Contended kinds: sum over lanes.
+        assert_eq!(acc.ns(CostKind::Serialized), 30);
+        assert_eq!(acc.ns(CostKind::PmemWrite), 12);
+        // Event counters always sum.
+        assert_eq!(acc.ops(CostKind::Cpu), 2);
+        assert_eq!(acc.ops(CostKind::Serialized), 2);
+    }
+
+    #[test]
+    fn parallel_lane_merge_is_order_independent() {
+        let mut lanes = Vec::new();
+        for i in 1..=4u64 {
+            let mut c = Cost::new();
+            c.charge(CostKind::Cpu, i * 100);
+            c.charge(CostKind::Serialized, i);
+            lanes.push(c);
+        }
+        let fold = |order: &[usize]| {
+            let mut acc = Cost::new();
+            for &i in order {
+                acc.merge_parallel(&lanes[i]);
+            }
+            acc
+        };
+        assert_eq!(fold(&[0, 1, 2, 3]), fold(&[3, 1, 0, 2]));
+        assert_eq!(fold(&[0, 1, 2, 3]).ns(CostKind::Cpu), 400);
+        assert_eq!(fold(&[0, 1, 2, 3]).ns(CostKind::Serialized), 10);
     }
 
     #[test]

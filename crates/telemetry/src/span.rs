@@ -32,11 +32,20 @@ pub enum Phase {
     ServeLookup,
     /// Inference-side top-k scan.
     ServeTopk,
+    /// Shard-plan construction: bucketing a request's keys by shard.
+    Plan,
+    /// Shard-plan duplicate-key coalescing within each shard group.
+    Dedup,
+    /// Shard-plan parallel lane execution (locked per-shard work).
+    Execute,
+    /// Shard-plan result merge: fan-out of deduped payloads to the
+    /// response buffer in original key order.
+    Merge,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Pull,
         Phase::Maintain,
         Phase::Flush,
@@ -46,6 +55,10 @@ impl Phase {
         Phase::RpcExecute,
         Phase::ServeLookup,
         Phase::ServeTopk,
+        Phase::Plan,
+        Phase::Dedup,
+        Phase::Execute,
+        Phase::Merge,
     ];
 
     /// Stable metric-name fragment.
@@ -60,6 +73,10 @@ impl Phase {
             Phase::RpcExecute => "rpc_execute",
             Phase::ServeLookup => "serve_lookup",
             Phase::ServeTopk => "serve_topk",
+            Phase::Plan => "plan",
+            Phase::Dedup => "dedup",
+            Phase::Execute => "execute",
+            Phase::Merge => "merge",
         }
     }
 
@@ -75,14 +92,14 @@ impl Phase {
 /// so each component's exposition shows only histograms it can fill.
 #[derive(Debug)]
 pub struct PhaseTimes {
-    hists: [Option<HistogramHandle>; 9],
+    hists: [Option<HistogramHandle>; 13],
 }
 
 impl PhaseTimes {
     /// Register `phases` in `registry` as
     /// `{prefix}_{phase}_latency_ns` histograms.
     pub fn new(registry: &Registry, prefix: &str, phases: &[Phase]) -> Self {
-        let mut hists: [Option<HistogramHandle>; 9] = Default::default();
+        let mut hists: [Option<HistogramHandle>; 13] = Default::default();
         for &p in phases {
             let name = format!("{prefix}_{}_latency_ns", p.name());
             hists[p.index()] = Some(registry.histogram(&name));

@@ -163,6 +163,11 @@ impl<'a> SyncTrainer<'a> {
             let mut batch_phase = PhaseBreakdown::default();
 
             // ---- pull burst ----
+            // Engines that execute on parallel shard lanes have already
+            // lane-merged their per-request cost (max-over-lanes for
+            // parallelizable kinds, sum for the rest): the aggregate
+            // passes through the ContentionModel unchanged, exactly like
+            // a single-lane engine's.
             let mut pull_cost = Cost::new();
             let mut net_pull: Nanos = 0;
             let mut worker_data = Vec::with_capacity(self.cfg.workers as usize);
