@@ -15,7 +15,17 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> fault-injection suite (lossy wire, codec fuzz)"
+cargo test --release -q -p oe-net
+cargo test --release -q -p openembedding --test fault_suite
+
+echo "==> kill-mid-epoch failover smoke"
+cargo test --release -q -p openembedding --test failover_e2e
+
 echo "==> pull/push hot-path bench (smoke)"
 cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.json
+
+echo "==> failover/retry-overhead bench (smoke)"
+cargo run --release -p oe-bench --bin failover -- --smoke --out BENCH_failover.json
 
 echo "CI OK"

@@ -730,6 +730,19 @@ pub fn pullpush(sc: &Scenario) {
     crate::pullpush::print_report(&r);
 }
 
+/// Fault tolerance: retry overhead on a lossy wire and checkpoint-
+/// failover recovery latency (see [`crate::failover`]).
+pub fn failover(sc: &Scenario) {
+    hr("failover — retry overhead and checkpoint-failover recovery");
+    let cfg = if sc.batch_size < 1024 {
+        crate::failover::FailoverConfig::smoke()
+    } else {
+        crate::failover::FailoverConfig::paper()
+    };
+    let r = crate::failover::run(&cfg);
+    crate::failover::print_report(&r);
+}
+
 /// Run everything.
 pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     table1(sc);
@@ -750,4 +763,5 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     latency(sc);
     ablations(sc);
     pullpush(sc);
+    failover(sc);
 }

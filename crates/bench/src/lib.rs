@@ -12,13 +12,18 @@
 //! - [`pullpush`] — shard-plan hot-path throughput microbenchmark
 //!   (legacy per-key vs planned vs multi-lane execution), emitted as
 //!   `BENCH_pullpush.json` by the `pullpush` binary.
+//! - [`failover`] — fault-tolerance bench: retry overhead at 0/1/5%
+//!   frame loss and checkpoint-failover recovery latency, emitted as
+//!   `BENCH_failover.json` by the `failover` binary.
 //!
 //! Run `cargo run --release -p oe-bench --bin figures -- all` (or a
 //! single id, or `--quick` for a fast pass).
 
+pub mod failover;
 pub mod figures;
 pub mod pullpush;
 pub mod scenario;
 
+pub use failover::{FailoverConfig, FailoverReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};

@@ -932,6 +932,7 @@ impl PsNode {
 
     /// Execute one shard group of a planned push under a single write
     /// lock acquisition.
+    #[allow(clippy::too_many_arguments)]
     fn push_group(
         &self,
         group: &ShardGroup,

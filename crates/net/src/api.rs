@@ -1,0 +1,264 @@
+//! The backend-agnostic PS client interface.
+//!
+//! [`PsClient`] is what `train` and `serve` program against: the same
+//! pull/push/flush/metrics surface whether the parameter server is an
+//! in-process [`PsNode`], a [`crate::RemotePs`] on the far side of a
+//! (possibly fault-injected) wire, or any other [`PsEngine`] behind an
+//! [`EngineClient`] adapter. Every operation returns a structured
+//! [`Error`] instead of panicking, so the fault-injection suite can run
+//! the identical driver against either backend and failures surface as
+//! values.
+//!
+//! Method names are deliberately distinct from [`PsEngine`]'s
+//! (`pull_batch` vs `pull`, …): `RemotePs` and `PsNode` implement both
+//! traits, and identical names would make every call ambiguous at use
+//! sites that import both.
+
+use crate::error::Error;
+use crate::failover::FailoverEvent;
+use oe_core::engine::{MaintenanceReport, PsEngine};
+use oe_core::stats::StatsSnapshot;
+use oe_core::{BatchId, Key, PsNode};
+use oe_simdevice::Cost;
+use std::sync::Arc;
+
+/// A fallible, backend-agnostic parameter-server client.
+pub trait PsClient: Send + Sync {
+    /// Engine identity ("PMem-OE", "DRAM-PS", …).
+    fn backend_name(&self) -> String;
+
+    /// Embedding dimension served.
+    fn embed_dim(&self) -> usize;
+
+    /// Fetch weights for `keys` into `out` (appended, request order).
+    fn pull_batch(
+        &self,
+        keys: &[Key],
+        batch: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error>;
+
+    /// All pulls for `batch` done: run deferred maintenance.
+    fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error>;
+
+    /// Apply pre-aggregated gradients.
+    fn push_batch(
+        &self,
+        keys: &[Key],
+        grads: &[f32],
+        batch: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), Error>;
+
+    /// Request a checkpoint up to `batch`; returns the inline cost.
+    fn checkpoint(&self, batch: BatchId) -> Result<Cost, Error>;
+
+    /// The committed checkpoint id.
+    fn committed(&self) -> Result<BatchId, Error>;
+
+    /// Engine counters.
+    fn snapshot_stats(&self) -> Result<StatsSnapshot, Error>;
+
+    /// One key's weights, if known (diagnostics).
+    fn weights_of(&self, key: Key) -> Result<Option<Vec<f32>>, Error>;
+
+    /// Number of known keys.
+    fn key_count(&self) -> Result<usize, Error>;
+
+    /// Telemetry exposition text.
+    fn metrics(&self) -> Result<String, Error>;
+
+    /// Collect (and clear) the pending failover event, if the last
+    /// error was a completed failover. Backends that cannot fail over
+    /// never return one.
+    fn failover_resume(&self) -> Option<FailoverEvent> {
+        None
+    }
+}
+
+/// Adapter: any [`PsEngine`] as an (infallible-in-practice)
+/// [`PsClient`]. In-process engines have no wire to fail on, so every
+/// operation simply succeeds.
+pub struct EngineClient {
+    engine: Arc<dyn PsEngine>,
+}
+
+impl EngineClient {
+    /// Wrap an engine.
+    pub fn new(engine: Arc<dyn PsEngine>) -> Self {
+        Self { engine }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Arc<dyn PsEngine> {
+        &self.engine
+    }
+}
+
+impl PsClient for EngineClient {
+    fn backend_name(&self) -> String {
+        self.engine.name().to_string()
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.engine.dim()
+    }
+
+    fn pull_batch(
+        &self,
+        keys: &[Key],
+        batch: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        self.engine.pull(keys, batch, out, cost);
+        Ok(())
+    }
+
+    fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error> {
+        Ok(self.engine.end_pull_phase(batch))
+    }
+
+    fn push_batch(
+        &self,
+        keys: &[Key],
+        grads: &[f32],
+        batch: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        self.engine.push(keys, grads, batch, cost);
+        Ok(())
+    }
+
+    fn checkpoint(&self, batch: BatchId) -> Result<Cost, Error> {
+        Ok(self.engine.request_checkpoint(batch))
+    }
+
+    fn committed(&self) -> Result<BatchId, Error> {
+        Ok(self.engine.committed_checkpoint())
+    }
+
+    fn snapshot_stats(&self) -> Result<StatsSnapshot, Error> {
+        Ok(self.engine.stats())
+    }
+
+    fn weights_of(&self, key: Key) -> Result<Option<Vec<f32>>, Error> {
+        Ok(self.engine.read_weights(key))
+    }
+
+    fn key_count(&self) -> Result<usize, Error> {
+        Ok(self.engine.num_keys())
+    }
+
+    fn metrics(&self) -> Result<String, Error> {
+        Ok(self.engine.metrics_text())
+    }
+}
+
+/// The in-process node is a first-class client backend: the trainer
+/// runs against a local `PsNode` and a `RemotePs` through the same
+/// interface.
+impl PsClient for PsNode {
+    fn backend_name(&self) -> String {
+        PsEngine::name(self).to_string()
+    }
+
+    fn embed_dim(&self) -> usize {
+        PsEngine::dim(self)
+    }
+
+    fn pull_batch(
+        &self,
+        keys: &[Key],
+        batch: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        PsEngine::pull(self, keys, batch, out, cost);
+        Ok(())
+    }
+
+    fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error> {
+        Ok(PsEngine::end_pull_phase(self, batch))
+    }
+
+    fn push_batch(
+        &self,
+        keys: &[Key],
+        grads: &[f32],
+        batch: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        PsEngine::push(self, keys, grads, batch, cost);
+        Ok(())
+    }
+
+    fn checkpoint(&self, batch: BatchId) -> Result<Cost, Error> {
+        Ok(PsEngine::request_checkpoint(self, batch))
+    }
+
+    fn committed(&self) -> Result<BatchId, Error> {
+        Ok(PsEngine::committed_checkpoint(self))
+    }
+
+    fn snapshot_stats(&self) -> Result<StatsSnapshot, Error> {
+        Ok(PsEngine::stats(self))
+    }
+
+    fn weights_of(&self, key: Key) -> Result<Option<Vec<f32>>, Error> {
+        Ok(PsEngine::read_weights(self, key))
+    }
+
+    fn key_count(&self) -> Result<usize, Error> {
+        Ok(PsEngine::num_keys(self))
+    }
+
+    fn metrics(&self) -> Result<String, Error> {
+        Ok(PsEngine::metrics_text(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_core::{NodeConfig, OptimizerKind};
+
+    fn node() -> PsNode {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        PsNode::new(cfg)
+    }
+
+    fn drive(client: &dyn PsClient) -> Vec<f32> {
+        let keys = [1u64, 2, 3];
+        let mut cost = Cost::new();
+        let mut out = Vec::new();
+        client.pull_batch(&keys, 1, &mut out, &mut cost).unwrap();
+        client.flush_batch(1).unwrap();
+        client
+            .push_batch(&keys, &vec![0.25; 12], 1, &mut cost)
+            .unwrap();
+        client.weights_of(2).unwrap().expect("key known")
+    }
+
+    #[test]
+    fn node_and_adapter_agree() {
+        let direct = node();
+        let adapted = EngineClient::new(Arc::new(node()));
+        assert_eq!(drive(&direct), drive(&adapted));
+        assert_eq!(direct.backend_name(), adapted.backend_name());
+        assert_eq!(direct.embed_dim(), 4);
+        assert_eq!(direct.key_count().unwrap(), 3);
+        assert!(direct.failover_resume().is_none());
+        assert!(direct.metrics().unwrap().contains("oe_pulls_total"));
+    }
+
+    #[test]
+    fn client_is_object_safe() {
+        let boxed: Box<dyn PsClient> = Box::new(node());
+        assert_eq!(boxed.embed_dim(), 4);
+        let arc: Arc<dyn PsClient> = Arc::new(EngineClient::new(Arc::new(node())));
+        assert_eq!(arc.committed().unwrap(), 0);
+    }
+}

@@ -1,55 +1,80 @@
 //! The remote PS client: [`RemotePs`] implements
-//! [`oe_core::engine::PsEngine`] over a [`Transport`], so a trainer (or
+//! [`oe_core::engine::PsEngine`] (and the backend-agnostic
+//! [`crate::api::PsClient`]) over a [`Transport`], so a trainer (or
 //! example, or test) can swap a local node for a server on the other
 //! side of a wire without any code change — the reproduction of the
 //! paper's TensorFlow operators (`PullWeights`, `PushGradients`, …)
 //! talking RPC to the backend PS (§V-C).
+//!
+//! Fault tolerance lives here:
+//!
+//! - every request carries a fresh `(client, seq)` idempotence token;
+//!   **retries reuse the token** (the frame is byte-identical), so the
+//!   server's replay cache applies each logical request exactly once;
+//! - retryable failures (timeout, corrupt, busy) are retried under the
+//!   [`crate::RetryPolicy`] with exponential backoff + seeded jitter,
+//!   charged to the caller's virtual-time sink;
+//! - a dead primary (`Disconnected`) triggers failover: the next
+//!   [`Standby`] in the ordered endpoint list is promoted through
+//!   `core::recovery`, and the failing call returns a structured
+//!   `Busy` error carrying the rewind point — see
+//!   [`crate::failover`] for why failover is not transparent;
+//! - retries, timeouts, corrupt frames, failovers, backoff waits, and
+//!   recovery latency all land in the client's telemetry registry,
+//!   prepended to [`PsEngine::metrics_text`] exposition.
 //!
 //! Virtual-time accounting stays exact: server-side storage charges ride
 //! back inside each response and are merged into the caller's sink, and
 //! the client additionally charges `Net` time per frame byte using the
 //! paper's 30 Gb intranet model.
 
-use crate::codec::{Frame, Request, Response};
+use crate::api::PsClient;
+use crate::codec::{Frame, Packet, Request, Response};
+use crate::config::NetConfig;
+use crate::error::{Error, ErrorKind};
+use crate::failover::{FailoverEvent, Standby};
 use crate::transport::Transport;
 use oe_core::engine::{MaintenanceReport, PsEngine};
 use oe_core::stats::StatsSnapshot;
 use oe_core::{BatchId, Key};
 use oe_simdevice::{Cost, CostKind};
+use oe_telemetry::{Counter, Phase, PhaseTimes, Registry};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Per-frame network cost model (client side).
-#[derive(Debug, Clone, Copy)]
-pub struct NetCharge {
-    /// Fixed RPC overhead per round trip (ns).
-    pub rpc_overhead_ns: u64,
-    /// Link bandwidth, bytes/ns.
-    pub bw_bytes_per_ns: f64,
-}
-
-impl NetCharge {
-    /// The paper's testbed: 30 Gb intranet, low-overhead RPC.
-    pub fn paper_default() -> Self {
-        Self {
-            rpc_overhead_ns: 15_000,
-            bw_bytes_per_ns: 3.75,
-        }
-    }
-
-    fn charge(&self, bytes: usize, cost: &mut Cost) {
-        cost.charge(
-            CostKind::Net,
-            self.rpc_overhead_ns + (bytes as f64 / self.bw_bytes_per_ns) as u64,
-        );
-    }
-}
+/// Process-global client id allocator: distinct `RemotePs` instances
+/// never collide in a server's replay cache.
+static NEXT_CLIENT_ID: AtomicU32 = AtomicU32::new(1);
 
 /// A PS engine on the far side of a transport.
 pub struct RemotePs {
-    transport: Arc<dyn Transport>,
-    net: NetCharge,
+    transport: Mutex<Arc<dyn Transport>>,
+    standbys: Mutex<VecDeque<Arc<dyn Standby>>>,
+    cfg: NetConfig,
+    client_id: u32,
+    seq: AtomicU64,
     dim: usize,
     name: &'static str,
+    pending_failover: Mutex<Option<FailoverEvent>>,
+    registry: Arc<Registry>,
+    retries: Counter,
+    timeouts: Counter,
+    corrupt: Counter,
+    failovers: Counter,
+    phases: PhaseTimes,
+}
+
+impl std::fmt::Debug for RemotePs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemotePs")
+            .field("name", &self.name)
+            .field("client_id", &self.client_id)
+            .field("dim", &self.dim)
+            .field("standbys", &self.standbys.lock().len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl RemotePs {
@@ -57,39 +82,187 @@ impl RemotePs {
     /// dimension and identity. Panics if the server is unreachable or
     /// speaks a different protocol — a remote PS you cannot reach is a
     /// deployment error, not a recoverable condition for training.
-    pub fn connect(transport: Arc<dyn Transport>, net: NetCharge) -> Self {
-        let resp = Self::raw_call(&*transport, Request::Hello);
+    pub fn connect(transport: Arc<dyn Transport>, cfg: NetConfig) -> Self {
+        Self::try_connect(transport, cfg).expect("PS handshake failed")
+    }
+
+    /// Fallible connect for callers that own failure handling.
+    pub fn try_connect(transport: Arc<dyn Transport>, cfg: NetConfig) -> Result<Self, Error> {
+        let registry = Arc::new(Registry::new());
+        let retries = registry.counter("client_rpc_retries_total");
+        let timeouts = registry.counter("client_rpc_timeouts_total");
+        let corrupt = registry.counter("client_rpc_corrupt_total");
+        let failovers = registry.counter("client_rpc_failovers_total");
+        let phases = PhaseTimes::new(
+            &registry,
+            "client",
+            &[Phase::RetryBackoff, Phase::FailoverRecovery],
+        );
+        let this = Self {
+            transport: Mutex::new(transport),
+            standbys: Mutex::new(VecDeque::new()),
+            cfg,
+            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            seq: AtomicU64::new(1),
+            dim: 0,
+            name: "",
+            pending_failover: Mutex::new(None),
+            registry,
+            retries,
+            timeouts,
+            corrupt,
+            failovers,
+            phases,
+        };
+        let mut scratch = Cost::new();
+        let resp = this.call_result(Request::Hello, &mut scratch)?;
         let Response::HelloOk { dim, name } = resp else {
-            panic!("handshake failed: unexpected response {resp:?}");
+            return Err(Error::rejected(format!(
+                "handshake failed: unexpected response {resp:?}"
+            )));
         };
         // Engine names are a small closed set; leak once for &'static.
         let name: &'static str = Box::leak(name.into_boxed_str());
-        Self {
-            transport,
-            net,
+        Ok(Self {
             dim: dim as usize,
             name,
+            ..this
+        })
+    }
+
+    /// Append a standby to the ordered failover endpoint list.
+    pub fn with_standby(self, standby: Arc<dyn Standby>) -> Self {
+        self.standbys.lock().push_back(standby);
+        self
+    }
+
+    /// The client-side telemetry registry (retry/timeout/corrupt/
+    /// failover counters, backoff + recovery histograms).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// This client's id in request idempotence tokens.
+    pub fn client_id(&self) -> u32 {
+        self.client_id
+    }
+
+    /// Promote the next standby. On success the current transport is
+    /// swapped and a [`FailoverEvent`] is left for the trainer to
+    /// collect via [`PsClient::failover_resume`].
+    fn failover(&self) -> Result<FailoverEvent, Error> {
+        loop {
+            let standby = self
+                .standbys
+                .lock()
+                .pop_front()
+                .ok_or_else(|| Error::disconnected("primary dead and no standby left"))?;
+            match standby.promote() {
+                Ok(promo) => {
+                    *self.transport.lock() = Arc::clone(&promo.transport);
+                    self.failovers.inc();
+                    self.phases
+                        .record_ns(Phase::FailoverRecovery, promo.recovery_ns);
+                    let event = FailoverEvent {
+                        resume_batch: promo.resume_batch,
+                        recovery_ns: promo.recovery_ns,
+                        recovered_keys: promo.recovered_keys,
+                    };
+                    *self.pending_failover.lock() = Some(event);
+                    return Ok(event);
+                }
+                // A standby that cannot promote (e.g. media never
+                // initialized) is skipped; try the next one.
+                Err(_) => continue,
+            }
         }
     }
 
-    fn raw_call(transport: &dyn Transport, req: Request) -> Response {
-        let frame = Frame::Request(req).encode();
-        let reply = transport.call(frame).expect("PS server unreachable");
-        match Frame::decode(reply).expect("malformed server response") {
-            Frame::Response(r) => r,
-            Frame::Request(_) => panic!("server sent a request"),
+    /// One logical RPC: fresh idempotence token, deadline per attempt,
+    /// retry with backoff on retryable failures (same token each time),
+    /// failover on a dead primary.
+    fn call_result(&self, req: Request, cost: &mut Cost) -> Result<Response, Error> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let frame = Packet::request(self.client_id, seq, req).encode();
+        let mut attempt = 0u32;
+        loop {
+            let transport = Arc::clone(&*self.transport.lock());
+            let outcome = match transport.call(frame.clone(), self.cfg.deadline) {
+                Ok(reply) => {
+                    self.cfg.charge.charge(frame.len() + reply.len(), cost);
+                    match Packet::decode(reply) {
+                        Ok(pkt) => match pkt.frame {
+                            // A structured error reply is ours even when
+                            // the token is (0,0): the server could not
+                            // attribute a corrupted request, but the
+                            // per-call reply channel ties it to us.
+                            Frame::Response(Response::Error { kind, message }) => {
+                                Err(Error::new(kind, message))
+                            }
+                            Frame::Response(r)
+                                if pkt.client == self.client_id && pkt.seq == seq =>
+                            {
+                                Ok(r)
+                            }
+                            Frame::Response(_) => Err(Error::corrupt(format!(
+                                "response token ({}, {}) does not match request ({}, {seq})",
+                                pkt.client, pkt.seq, self.client_id
+                            ))),
+                            Frame::Request(_) => Err(Error::corrupt("server sent a request")),
+                        },
+                        Err(e) => Err(e),
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            let err = match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(err) => err,
+            };
+            match err.kind() {
+                ErrorKind::Timeout => self.timeouts.inc(),
+                ErrorKind::Corrupt => self.corrupt.inc(),
+                _ => {}
+            }
+            if err.kind() == ErrorKind::Disconnected {
+                // The primary is gone: promote a standby. The promoted
+                // node is rolled back to the committed checkpoint, so
+                // this call must NOT be retried against it — surface a
+                // Busy error carrying the rewind point instead.
+                let event = self.failover().map_err(|fe| fe.with_source(err.clone()))?;
+                return Err(Error::busy(format!(
+                    "failed over to standby; state rolled back to committed checkpoint, \
+                     resume from batch {}",
+                    event.resume_batch
+                ))
+                .with_source(err));
+            }
+            if !err.is_retryable() || attempt >= self.cfg.retry.max_retries {
+                return Err(if attempt > 0 {
+                    Error::new(
+                        err.kind(),
+                        format!("retry budget ({attempt} retries) exhausted"),
+                    )
+                    .with_source(err)
+                } else {
+                    err
+                });
+            }
+            let backoff = self.cfg.retry.backoff_ns(attempt, seq);
+            cost.charge(CostKind::Net, backoff);
+            self.phases.record_ns(Phase::RetryBackoff, backoff);
+            self.retries.inc();
+            attempt += 1;
         }
     }
 
-    /// One RPC with network-cost charging on both directions.
+    /// Infallible call for the [`PsEngine`] facade: any terminal
+    /// failure (including a successful failover, whose rewind contract
+    /// the `PsEngine` interface cannot express) is fatal.
     fn call(&self, req: Request, cost: &mut Cost) -> Response {
-        let frame = Frame::Request(req).encode();
-        let req_bytes = frame.len();
-        let reply = self.transport.call(frame).expect("PS server unreachable");
-        self.net.charge(req_bytes + reply.len(), cost);
-        match Frame::decode(reply).expect("malformed server response") {
-            Frame::Response(r) => r,
-            Frame::Request(_) => panic!("server sent a request"),
+        match self.call_result(req, cost) {
+            Ok(r) => r,
+            Err(e) => panic!("PS RPC failed: {e}"),
         }
     }
 }
@@ -167,44 +340,187 @@ impl PsEngine for RemotePs {
     }
 
     fn committed_checkpoint(&self) -> BatchId {
-        match Self::raw_call(&*self.transport, Request::Committed) {
+        let mut scratch = Cost::new();
+        match self.call(Request::Committed, &mut scratch) {
             Response::Committed { batch } => batch,
             other => panic!("committed: unexpected {other:?}"),
         }
     }
 
     fn stats(&self) -> StatsSnapshot {
-        match Self::raw_call(&*self.transport, Request::Stats) {
+        let mut scratch = Cost::new();
+        match self.call(Request::Stats, &mut scratch) {
             Response::Stats(s) => s,
             other => panic!("stats: unexpected {other:?}"),
         }
     }
 
     fn read_weights(&self, key: Key) -> Option<Vec<f32>> {
-        match Self::raw_call(&*self.transport, Request::ReadWeights { key }) {
+        let mut scratch = Cost::new();
+        match self.call(Request::ReadWeights { key }, &mut scratch) {
             Response::MaybeWeights(w) => w,
             other => panic!("read_weights: unexpected {other:?}"),
         }
     }
 
     fn num_keys(&self) -> usize {
-        match Self::raw_call(&*self.transport, Request::NumKeys) {
+        let mut scratch = Cost::new();
+        match self.call(Request::NumKeys, &mut scratch) {
             Response::Count(n) => n as usize,
             other => panic!("num_keys: unexpected {other:?}"),
         }
     }
 
     fn metrics_text(&self) -> String {
-        match Self::raw_call(&*self.transport, Request::Metrics) {
-            Response::Metrics(text) => text,
+        let mut scratch = Cost::new();
+        match self.call(Request::Metrics, &mut scratch) {
+            // Client-side fault-tolerance metrics lead the exposition,
+            // then the server + engine registries.
+            Response::Metrics(text) => format!("{}{}", self.registry.render_text(), text),
             other => panic!("metrics: unexpected {other:?}"),
         }
+    }
+}
+
+impl PsClient for RemotePs {
+    fn backend_name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn embed_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn pull_batch(
+        &self,
+        keys: &[Key],
+        batch: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        match self.call_result(
+            Request::Pull {
+                batch,
+                keys: keys.to_vec(),
+            },
+            cost,
+        )? {
+            Response::Weights { weights, cost: c } => {
+                cost.merge(&c);
+                out.extend_from_slice(&weights);
+                Ok(())
+            }
+            other => Err(Error::rejected(format!("pull: unexpected {other:?}"))),
+        }
+    }
+
+    fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error> {
+        let mut net_cost = Cost::new();
+        match self.call_result(Request::EndPullPhase { batch }, &mut net_cost)? {
+            Response::Maintenance {
+                entries,
+                commits,
+                cost: mut c,
+            } => {
+                c.merge(&net_cost);
+                Ok(MaintenanceReport {
+                    cost: c,
+                    entries_processed: entries,
+                    ckpt_commits: commits,
+                })
+            }
+            other => Err(Error::rejected(format!(
+                "end_pull_phase: unexpected {other:?}"
+            ))),
+        }
+    }
+
+    fn push_batch(
+        &self,
+        keys: &[Key],
+        grads: &[f32],
+        batch: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        match self.call_result(
+            Request::Push {
+                batch,
+                keys: keys.to_vec(),
+                grads: grads.to_vec(),
+            },
+            cost,
+        )? {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                Ok(())
+            }
+            other => Err(Error::rejected(format!("push: unexpected {other:?}"))),
+        }
+    }
+
+    fn checkpoint(&self, batch: BatchId) -> Result<Cost, Error> {
+        let mut cost = Cost::new();
+        match self.call_result(Request::Checkpoint { batch }, &mut cost)? {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                Ok(cost)
+            }
+            other => Err(Error::rejected(format!("checkpoint: unexpected {other:?}"))),
+        }
+    }
+
+    fn committed(&self) -> Result<BatchId, Error> {
+        let mut scratch = Cost::new();
+        match self.call_result(Request::Committed, &mut scratch)? {
+            Response::Committed { batch } => Ok(batch),
+            other => Err(Error::rejected(format!("committed: unexpected {other:?}"))),
+        }
+    }
+
+    fn snapshot_stats(&self) -> Result<StatsSnapshot, Error> {
+        let mut scratch = Cost::new();
+        match self.call_result(Request::Stats, &mut scratch)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Error::rejected(format!("stats: unexpected {other:?}"))),
+        }
+    }
+
+    fn weights_of(&self, key: Key) -> Result<Option<Vec<f32>>, Error> {
+        let mut scratch = Cost::new();
+        match self.call_result(Request::ReadWeights { key }, &mut scratch)? {
+            Response::MaybeWeights(w) => Ok(w),
+            other => Err(Error::rejected(format!(
+                "read_weights: unexpected {other:?}"
+            ))),
+        }
+    }
+
+    fn key_count(&self) -> Result<usize, Error> {
+        let mut scratch = Cost::new();
+        match self.call_result(Request::NumKeys, &mut scratch)? {
+            Response::Count(n) => Ok(n as usize),
+            other => Err(Error::rejected(format!("num_keys: unexpected {other:?}"))),
+        }
+    }
+
+    fn metrics(&self) -> Result<String, Error> {
+        let mut scratch = Cost::new();
+        match self.call_result(Request::Metrics, &mut scratch)? {
+            Response::Metrics(text) => Ok(format!("{}{}", self.registry.render_text(), text)),
+            other => Err(Error::rejected(format!("metrics: unexpected {other:?}"))),
+        }
+    }
+
+    fn failover_resume(&self) -> Option<FailoverEvent> {
+        self.pending_failover.lock().take()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RetryPolicy;
+    use crate::fault::{FaultInjector, FaultSpec};
     use crate::server::PsServer;
     use crate::transport::loopback;
     use oe_core::{NodeConfig, OptimizerKind, PsNode};
@@ -215,7 +531,7 @@ mod tests {
         let engine: Arc<dyn PsEngine> = Arc::new(PsNode::new(cfg));
         let (client_t, server_t) = loopback(32);
         let handle = PsServer::spawn(engine, server_t, 4);
-        let remote = RemotePs::connect(Arc::new(client_t), NetCharge::paper_default());
+        let remote = RemotePs::connect(Arc::new(client_t), NetConfig::paper_default());
         (remote, handle)
     }
 
@@ -224,6 +540,7 @@ mod tests {
         let (remote, _h) = remote_node();
         assert_eq!(remote.dim(), 4);
         assert_eq!(remote.name(), "PMem-OE");
+        assert!(remote.client_id() > 0);
     }
 
     #[test]
@@ -283,37 +600,76 @@ mod tests {
         let text = remote.metrics_text();
         assert!(text.contains("rpc_requests_total"), "server side:\n{text}");
         assert!(text.contains("oe_pulls_total 2"), "engine side:\n{text}");
+        // Client-side fault-tolerance counters lead the exposition.
+        assert!(
+            text.contains("client_rpc_retries_total"),
+            "client side:\n{text}"
+        );
+        assert!(text.contains("client_rpc_failovers_total"));
     }
 
     #[test]
-    fn concurrent_remote_workers() {
-        let (remote, _h) = remote_node();
-        let remote = Arc::new(remote);
-        // Warm keys.
-        let keys: Vec<u64> = (0..64).collect();
-        let mut out = Vec::new();
+    fn retries_survive_a_lossy_wire() {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        let engine: Arc<dyn PsEngine> = Arc::new(PsNode::new(cfg));
+        let (client_t, server_t) = loopback(32);
+        let _handle = PsServer::spawn(engine, server_t, 2);
+        let faulty = Arc::new(FaultInjector::new(
+            Arc::new(client_t),
+            FaultSpec::lossy(21, 0.20, 0.05),
+        ));
+        let remote = RemotePs::connect(faulty, NetConfig::paper_default());
+        let keys: Vec<u64> = (0..8).collect();
         let mut cost = Cost::new();
-        remote.pull(&keys, 1, &mut out, &mut cost);
-        remote.end_pull_phase(1);
-        let expected = out.clone();
-        let handles: Vec<_> = (0..4)
-            .map(|_| {
-                let r = Arc::clone(&remote);
-                let keys = keys.clone();
-                let expected = expected.clone();
-                std::thread::spawn(move || {
-                    let mut out = Vec::new();
-                    let mut cost = Cost::new();
-                    for b in 2..12 {
-                        out.clear();
-                        r.pull(&keys, b, &mut out, &mut cost);
-                        assert_eq!(out, expected);
-                    }
-                })
-            })
-            .collect();
-        for t in handles {
-            t.join().unwrap();
+        for b in 1..=20 {
+            let mut out = Vec::new();
+            remote
+                .pull_batch(&keys, b, &mut out, &mut cost)
+                .expect("pull survives retries");
+            assert_eq!(out.len(), 32);
+            remote.flush_batch(b).expect("flush survives");
+            remote
+                .push_batch(&keys, &vec![0.1; 32], b, &mut cost)
+                .expect("push survives");
         }
+        let snap = remote.registry().snapshot();
+        let retried = snap.counter("client_rpc_retries_total").unwrap_or(0);
+        assert!(retried > 0, "a 20% drop schedule must force retries");
+        assert!(
+            cost.ns(CostKind::Net) > 0,
+            "backoff waits charged to virtual time"
+        );
+        // Exactly-once despite the storm: every batch's push applied
+        // exactly once (SGD lr=1, grad 0.1 × 20 batches).
+        let w = remote.read_weights(0).expect("key exists");
+        let expect = oe_core::init::init_weight(42, 0, 0, 0.01) - 0.1 * 20.0;
+        assert!(
+            (w[0] - expect).abs() < 1e-5,
+            "{} vs {expect} — retries must not double-apply",
+            w[0]
+        );
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_structured() {
+        let (client_t, _server_t) = loopback(4);
+        // Server never runs: every call times out. Keep the server half
+        // alive so the channel stays open (Timeout, not Disconnected).
+        let remote = RemotePs::try_connect(
+            Arc::new(client_t),
+            NetConfig::paper_default()
+                .with_deadline(Some(std::time::Duration::from_millis(10)))
+                .with_retry(RetryPolicy {
+                    max_retries: 2,
+                    base_backoff_ns: 1_000,
+                    max_backoff_ns: 2_000,
+                    jitter_seed: 1,
+                }),
+        );
+        let err = remote.expect_err("no server: handshake must fail");
+        assert_eq!(err.kind(), ErrorKind::Timeout);
+        assert!(err.context().contains("retry budget"), "{err}");
+        assert!(err.root_cause().context().contains("no response"), "{err}");
     }
 }

@@ -1,19 +1,37 @@
 //! Binary wire format for parameter-server RPC.
 //!
-//! Frame layout (little-endian):
+//! Packet layout (little-endian), protocol version 2:
 //!
 //! ```text
-//! ┌───────┬─────────┬──────────┬──────────┬─────────────┐
-//! │ magic │ version │ msg type │ body len │ body bytes  │
-//! │ u16   │ u8      │ u8       │ u32      │ …           │
-//! └───────┴─────────┴──────────┴──────────┴─────────────┘
+//! ┌───────┬─────────┬──────────┬────────┬─────┬──────────┬──────────┬────────┐
+//! │ magic │ version │ msg type │ client │ seq │ body len │ checksum │ body   │
+//! │ u16   │ u8      │ u8       │ u32    │ u64 │ u32      │ u64      │ …      │
+//! └───────┴─────────┴──────────┴────────┴─────┴──────────┴──────────┴────────┘
 //! ```
+//!
+//! The `(client, seq)` pair is the idempotence token: every request
+//! carries the issuing client's id and a per-client sequence number,
+//! retries reuse the *same* pair, and the server's replay cache returns
+//! the original response for a pair it has already executed — so
+//! duplicated or retried pulls and pushes apply exactly once. The
+//! response echoes the pair so a client can match replies to calls.
+//!
+//! The checksum (FNV-1a 64 over the header-minus-checksum plus the
+//! body) turns any in-flight bit flip — even one inside an f32 gradient
+//! payload that would otherwise decode cleanly — into a structured
+//! [`Error`] of kind `Corrupt` instead of silent weight corruption.
 //!
 //! Bodies use length-prefixed vectors (`u32` count) of little-endian
 //! scalars. Virtual-time [`Cost`]s cross the wire as their raw
 //! (ns, ops) arrays so the client can merge server-side charges into
 //! its own accounting.
+//!
+//! Every decode failure — truncation, bad magic/version, checksum
+//! mismatch, unknown discriminant, short body — is a structured
+//! [`Error`] with kind [`crate::ErrorKind::Corrupt`]; decode never
+//! panics on arbitrary bytes.
 
+use crate::error::{Error, ErrorKind};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use oe_core::stats::StatsSnapshot;
 use oe_core::{BatchId, Key};
@@ -21,31 +39,23 @@ use oe_simdevice::Cost;
 
 /// Frame magic ("OE").
 pub const MAGIC: u16 = 0x4F45;
-/// Wire protocol version.
-pub const VERSION: u8 = 1;
+/// Wire protocol version (2: `(client, seq)` idempotence token +
+/// FNV-1a 64 frame checksum in the header).
+pub const VERSION: u8 = 2;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 28;
 
-/// Decode errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// Frame too short / truncated body.
-    Truncated,
-    /// Wrong magic or protocol version.
-    BadHeader,
-    /// Unknown message discriminant.
-    UnknownType(u8),
-}
-
-impl std::fmt::Display for CodecError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CodecError::Truncated => write!(f, "truncated frame"),
-            CodecError::BadHeader => write!(f, "bad magic/version"),
-            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
-        }
+/// FNV-1a 64 over one byte slice continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
     }
+    state
 }
 
-impl std::error::Error for CodecError {}
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 /// A decoded frame: message type + body.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +113,21 @@ pub enum Request {
     Metrics,
 }
 
+impl Request {
+    /// Whether executing this request mutates server state — only
+    /// mutating requests enter the replay cache; reads are naturally
+    /// idempotent.
+    pub fn is_mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::Pull { .. }
+                | Request::Push { .. }
+                | Request::EndPullPhase { .. }
+                | Request::Checkpoint { .. }
+        )
+    }
+}
+
 /// Server-to-client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -148,12 +173,28 @@ pub enum Response {
     /// Rendered telemetry text.
     Metrics(String),
     /// The server could not serve the request (e.g. an undecodable
-    /// frame). Carrying the reason back keeps the client from blocking
-    /// forever on a dropped frame.
+    /// frame). Carrying the structured reason back keeps the client
+    /// from blocking forever on a dropped frame and lets it classify
+    /// retryability without string matching.
     Error {
+        /// Failure classification (travels as its wire code).
+        kind: ErrorKind,
         /// Human-readable reason.
         message: String,
     },
+}
+
+/// A wire packet: the idempotence token plus the frame it carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Issuing client id (0 for server-originated error replies to
+    /// unattributable frames).
+    pub client: u32,
+    /// Per-client sequence number; retries of the same logical request
+    /// reuse it.
+    pub seq: u64,
+    /// The message.
+    pub frame: Frame,
 }
 
 // --- primitive helpers -------------------------------------------------
@@ -172,24 +213,28 @@ fn put_f32s(buf: &mut BytesMut, vals: &[f32]) {
     }
 }
 
-fn get_u64s(buf: &mut Bytes) -> Result<Vec<u64>, CodecError> {
+fn truncated() -> Error {
+    Error::corrupt("truncated frame")
+}
+
+fn get_u64s(buf: &mut Bytes) -> Result<Vec<u64>, Error> {
     if buf.remaining() < 4 {
-        return Err(CodecError::Truncated);
+        return Err(truncated());
     }
     let n = buf.get_u32_le() as usize;
-    if buf.remaining() < n * 8 {
-        return Err(CodecError::Truncated);
+    if buf.remaining() < n.saturating_mul(8) {
+        return Err(truncated());
     }
     Ok((0..n).map(|_| buf.get_u64_le()).collect())
 }
 
-fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, CodecError> {
+fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, Error> {
     if buf.remaining() < 4 {
-        return Err(CodecError::Truncated);
+        return Err(truncated());
     }
     let n = buf.get_u32_le() as usize;
-    if buf.remaining() < n * 4 {
-        return Err(CodecError::Truncated);
+    if buf.remaining() < n.saturating_mul(4) {
+        return Err(truncated());
     }
     Ok((0..n).map(|_| buf.get_f32_le()).collect())
 }
@@ -204,9 +249,9 @@ fn put_cost(buf: &mut BytesMut, cost: &Cost) {
     }
 }
 
-fn get_cost(buf: &mut Bytes) -> Result<Cost, CodecError> {
+fn get_cost(buf: &mut Bytes) -> Result<Cost, Error> {
     if buf.remaining() < 14 * 8 {
-        return Err(CodecError::Truncated);
+        return Err(truncated());
     }
     let mut ns = [0u64; 7];
     let mut ops = [0u64; 7];
@@ -219,9 +264,9 @@ fn get_cost(buf: &mut Bytes) -> Result<Cost, CodecError> {
     Ok(Cost::from_raw_parts(ns, ops))
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+fn get_u64(buf: &mut Bytes) -> Result<u64, Error> {
     if buf.remaining() < 8 {
-        return Err(CodecError::Truncated);
+        return Err(truncated());
     }
     Ok(buf.get_u64_le())
 }
@@ -231,18 +276,18 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, CodecError> {
+fn get_str(buf: &mut Bytes) -> Result<String, Error> {
     if buf.remaining() < 4 {
-        return Err(CodecError::Truncated);
+        return Err(truncated());
     }
     let n = buf.get_u32_le() as usize;
     if buf.remaining() < n {
-        return Err(CodecError::Truncated);
+        return Err(truncated());
     }
     Ok(String::from_utf8_lossy(&buf.copy_to_bytes(n)).into_owned())
 }
 
-// --- frame encode/decode ------------------------------------------------
+// --- frame body encode/decode ------------------------------------------
 
 impl Frame {
     fn msg_type(&self) -> u8 {
@@ -274,19 +319,17 @@ impl Frame {
         }
     }
 
-    /// Serialize to a wire frame.
-    pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::with_capacity(64);
+    fn encode_body(&self, body: &mut BytesMut) {
         match self {
             Frame::Request(r) => match r {
                 Request::Pull { batch, keys } => {
                     body.put_u64_le(*batch);
-                    put_u64s(&mut body, keys);
+                    put_u64s(body, keys);
                 }
                 Request::Push { batch, keys, grads } => {
                     body.put_u64_le(*batch);
-                    put_u64s(&mut body, keys);
-                    put_f32s(&mut body, grads);
+                    put_u64s(body, keys);
+                    put_f32s(body, grads);
                 }
                 Request::EndPullPhase { batch } | Request::Checkpoint { batch } => {
                     body.put_u64_le(*batch);
@@ -300,10 +343,10 @@ impl Frame {
             },
             Frame::Response(r) => match r {
                 Response::Weights { weights, cost } => {
-                    put_f32s(&mut body, weights);
-                    put_cost(&mut body, cost);
+                    put_f32s(body, weights);
+                    put_cost(body, cost);
                 }
-                Response::Ack { cost } => put_cost(&mut body, cost),
+                Response::Ack { cost } => put_cost(body, cost),
                 Response::Maintenance {
                     entries,
                     commits,
@@ -311,7 +354,7 @@ impl Frame {
                 } => {
                     body.put_u64_le(*entries);
                     body.put_u64_le(*commits);
-                    put_cost(&mut body, cost);
+                    put_cost(body, cost);
                 }
                 Response::Committed { batch } => body.put_u64_le(*batch),
                 Response::Stats(s) => {
@@ -334,7 +377,7 @@ impl Frame {
                 Response::MaybeWeights(w) => match w {
                     Some(w) => {
                         body.put_u8(1);
-                        put_f32s(&mut body, w);
+                        put_f32s(body, w);
                     }
                     None => body.put_u8(0),
                 },
@@ -344,76 +387,59 @@ impl Frame {
                     body.put_u32_le(name.len() as u32);
                     body.put_slice(name.as_bytes());
                 }
-                Response::Metrics(text) => put_str(&mut body, text),
-                Response::Error { message } => put_str(&mut body, message),
+                Response::Metrics(text) => put_str(body, text),
+                Response::Error { kind, message } => {
+                    body.put_u8(kind.code());
+                    put_str(body, message);
+                }
             },
         }
-        let mut frame = BytesMut::with_capacity(8 + body.len());
-        frame.put_u16_le(MAGIC);
-        frame.put_u8(VERSION);
-        frame.put_u8(self.msg_type());
-        frame.put_u32_le(body.len() as u32);
-        frame.extend_from_slice(&body);
-        frame.freeze()
     }
 
-    /// Parse a wire frame.
-    pub fn decode(mut buf: Bytes) -> Result<Frame, CodecError> {
-        if buf.remaining() < 8 {
-            return Err(CodecError::Truncated);
-        }
-        if buf.get_u16_le() != MAGIC || buf.get_u8() != VERSION {
-            return Err(CodecError::BadHeader);
-        }
-        let msg_type = buf.get_u8();
-        let len = buf.get_u32_le() as usize;
-        if buf.remaining() < len {
-            return Err(CodecError::Truncated);
-        }
-        let mut body = buf.split_to(len);
+    fn decode_body(msg_type: u8, body: &mut Bytes) -> Result<Frame, Error> {
         let frame = match msg_type {
             0x01 => Frame::Request(Request::Pull {
-                batch: get_u64(&mut body)?,
-                keys: get_u64s(&mut body)?,
+                batch: get_u64(body)?,
+                keys: get_u64s(body)?,
             }),
             0x02 => Frame::Request(Request::Push {
-                batch: get_u64(&mut body)?,
-                keys: get_u64s(&mut body)?,
-                grads: get_f32s(&mut body)?,
+                batch: get_u64(body)?,
+                keys: get_u64s(body)?,
+                grads: get_f32s(body)?,
             }),
             0x03 => Frame::Request(Request::EndPullPhase {
-                batch: get_u64(&mut body)?,
+                batch: get_u64(body)?,
             }),
             0x04 => Frame::Request(Request::Checkpoint {
-                batch: get_u64(&mut body)?,
+                batch: get_u64(body)?,
             }),
             0x05 => Frame::Request(Request::Committed),
             0x06 => Frame::Request(Request::Stats),
             0x07 => Frame::Request(Request::ReadWeights {
-                key: get_u64(&mut body)?,
+                key: get_u64(body)?,
             }),
             0x08 => Frame::Request(Request::NumKeys),
             0x09 => Frame::Request(Request::Hello),
             0x0A => Frame::Request(Request::Metrics),
             0x81 => Frame::Response(Response::Weights {
-                weights: get_f32s(&mut body)?,
-                cost: get_cost(&mut body)?,
+                weights: get_f32s(body)?,
+                cost: get_cost(body)?,
             }),
             0x82 => Frame::Response(Response::Ack {
-                cost: get_cost(&mut body)?,
+                cost: get_cost(body)?,
             }),
             0x83 => Frame::Response(Response::Maintenance {
-                entries: get_u64(&mut body)?,
-                commits: get_u64(&mut body)?,
-                cost: get_cost(&mut body)?,
+                entries: get_u64(body)?,
+                commits: get_u64(body)?,
+                cost: get_cost(body)?,
             }),
             0x84 => Frame::Response(Response::Committed {
-                batch: get_u64(&mut body)?,
+                batch: get_u64(body)?,
             }),
             0x85 => {
                 let mut vals = [0u64; 11];
                 for v in &mut vals {
-                    *v = get_u64(&mut body)?;
+                    *v = get_u64(body)?;
                 }
                 Frame::Response(Response::Stats(StatsSnapshot {
                     pulls: vals[0],
@@ -431,38 +457,120 @@ impl Frame {
             }
             0x86 => {
                 if body.remaining() < 1 {
-                    return Err(CodecError::Truncated);
+                    return Err(truncated());
                 }
                 let present = body.get_u8() == 1;
                 Frame::Response(Response::MaybeWeights(if present {
-                    Some(get_f32s(&mut body)?)
+                    Some(get_f32s(body)?)
                 } else {
                     None
                 }))
             }
-            0x87 => Frame::Response(Response::Count(get_u64(&mut body)?)),
+            0x87 => Frame::Response(Response::Count(get_u64(body)?)),
             0x88 => {
                 if body.remaining() < 8 {
-                    return Err(CodecError::Truncated);
+                    return Err(truncated());
                 }
                 let dim = body.get_u32_le();
                 let n = body.get_u32_le() as usize;
                 if body.remaining() < n {
-                    return Err(CodecError::Truncated);
+                    return Err(truncated());
                 }
                 let name = String::from_utf8_lossy(&body.copy_to_bytes(n)).into_owned();
                 Frame::Response(Response::HelloOk { dim, name })
             }
-            0x89 => Frame::Response(Response::Metrics(get_str(&mut body)?)),
-            0x8F => Frame::Response(Response::Error {
-                message: get_str(&mut body)?,
-            }),
-            other => return Err(CodecError::UnknownType(other)),
+            0x89 => Frame::Response(Response::Metrics(get_str(body)?)),
+            0x8F => {
+                if body.remaining() < 1 {
+                    return Err(truncated());
+                }
+                let kind = ErrorKind::from_code(body.get_u8());
+                Frame::Response(Response::Error {
+                    kind,
+                    message: get_str(body)?,
+                })
+            }
+            other => return Err(Error::corrupt(format!("unknown message type {other:#04x}"))),
         };
         Ok(frame)
     }
+}
 
-    /// Wire size of the encoded frame (for network-cost charging).
+// --- packet encode/decode -----------------------------------------------
+
+impl Packet {
+    /// Wrap a request with its idempotence token.
+    pub fn request(client: u32, seq: u64, req: Request) -> Self {
+        Self {
+            client,
+            seq,
+            frame: Frame::Request(req),
+        }
+    }
+
+    /// Wrap a response, echoing the request's token.
+    pub fn response(client: u32, seq: u64, resp: Response) -> Self {
+        Self {
+            client,
+            seq,
+            frame: Frame::Response(resp),
+        }
+    }
+
+    /// Serialize to a wire packet (header + checksum + body).
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(64);
+        self.frame.encode_body(&mut body);
+        let mut pkt = BytesMut::with_capacity(HEADER_LEN + body.len());
+        pkt.put_u16_le(MAGIC);
+        pkt.put_u8(VERSION);
+        pkt.put_u8(self.frame.msg_type());
+        pkt.put_u32_le(self.client);
+        pkt.put_u64_le(self.seq);
+        pkt.put_u32_le(body.len() as u32);
+        let checksum = fnv1a(fnv1a(FNV_OFFSET, &pkt[..]), &body);
+        pkt.put_u64_le(checksum);
+        pkt.extend_from_slice(&body);
+        pkt.freeze()
+    }
+
+    /// Parse a wire packet. Any malformed input — truncated header or
+    /// body, wrong magic/version, checksum mismatch, unknown message
+    /// type — returns a structured [`Error`] of kind `Corrupt`; this
+    /// function never panics on arbitrary bytes.
+    pub fn decode(buf: Bytes) -> Result<Packet, Error> {
+        if buf.remaining() < HEADER_LEN {
+            return Err(truncated());
+        }
+        let mut hdr = buf.clone();
+        if hdr.get_u16_le() != MAGIC {
+            return Err(Error::corrupt("bad magic"));
+        }
+        let version = hdr.get_u8();
+        if version != VERSION {
+            return Err(Error::corrupt(format!(
+                "protocol version {version}, expected {VERSION}"
+            )));
+        }
+        let msg_type = hdr.get_u8();
+        let client = hdr.get_u32_le();
+        let seq = hdr.get_u64_le();
+        let len = hdr.get_u32_le() as usize;
+        let checksum = hdr.get_u64_le();
+        if hdr.remaining() < len {
+            return Err(truncated());
+        }
+        let body = hdr.split_to(len);
+        let computed = fnv1a(fnv1a(FNV_OFFSET, &buf[..HEADER_LEN - 8]), &body);
+        if computed != checksum {
+            return Err(Error::corrupt("checksum mismatch"));
+        }
+        let mut body_buf = body;
+        let frame = Frame::decode_body(msg_type, &mut body_buf)?;
+        Ok(Packet { client, seq, frame })
+    }
+
+    /// Wire size of the encoded packet (for network-cost charging).
     pub fn encoded_len(&self) -> usize {
         self.encode().len()
     }
@@ -474,9 +582,14 @@ mod tests {
     use oe_simdevice::CostKind;
 
     fn roundtrip(f: Frame) {
-        let enc = Frame::encode(&f);
-        let dec = Frame::decode(enc).expect("decodes");
-        assert_eq!(dec, f);
+        let p = Packet {
+            client: 3,
+            seq: 99,
+            frame: f,
+        };
+        let enc = p.encode();
+        let dec = Packet::decode(enc).expect("decodes");
+        assert_eq!(dec, p);
     }
 
     #[test]
@@ -541,38 +654,102 @@ mod tests {
         )));
         roundtrip(Frame::Response(Response::Metrics(String::new())));
         roundtrip(Frame::Response(Response::Error {
-            message: "bad magic/version".into(),
+            kind: ErrorKind::Corrupt,
+            message: "bad magic".into(),
         }));
     }
 
     #[test]
-    fn bad_header_rejected() {
-        let mut enc = BytesMut::from(&Frame::Request(Request::Hello).encode()[..]);
-        enc[0] = 0; // corrupt magic
-        assert_eq!(Frame::decode(enc.freeze()), Err(CodecError::BadHeader));
+    fn idempotence_token_roundtrips() {
+        let p = Packet::request(0xDEAD_BEEF, u64::MAX - 1, Request::NumKeys);
+        let dec = Packet::decode(p.encode()).unwrap();
+        assert_eq!(dec.client, 0xDEAD_BEEF);
+        assert_eq!(dec.seq, u64::MAX - 1);
+        // Same logical request, same token → byte-identical frames
+        // (what the replay cache relies on).
+        assert_eq!(p.encode(), dec.encode());
+        // A different seq changes the bytes (and the checksum).
+        let p2 = Packet::request(0xDEAD_BEEF, 0, Request::NumKeys);
+        assert_ne!(p.encode(), p2.encode());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut enc = BytesMut::from(&Packet::request(1, 1, Request::Hello).encode()[..]);
+        enc[0] = 0;
+        let err = Packet::decode(enc.freeze()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Corrupt);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut enc = BytesMut::from(&Packet::request(1, 1, Request::Hello).encode()[..]);
+        enc[2] = VERSION + 1;
+        let err = Packet::decode(enc.freeze()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Corrupt);
+        assert!(err.context().contains("version"), "{err}");
     }
 
     #[test]
     fn truncated_rejected() {
-        let enc = Frame::Request(Request::Pull {
-            batch: 1,
-            keys: vec![1, 2, 3],
-        })
+        let enc = Packet::request(
+            2,
+            5,
+            Request::Pull {
+                batch: 1,
+                keys: vec![1, 2, 3],
+            },
+        )
         .encode();
-        for cut in [0, 4, 8, enc.len() - 1] {
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN, enc.len() - 1] {
             let t = enc.slice(0..cut);
-            assert!(Frame::decode(t).is_err(), "cut at {cut}");
+            let err = Packet::decode(t).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Corrupt, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_flipped_bit_is_caught() {
+        // The checksum catches single bit flips anywhere in the packet —
+        // including inside the f32 gradient body, where a flip would
+        // otherwise decode cleanly and silently corrupt training.
+        let enc = Packet::request(
+            1,
+            7,
+            Request::Push {
+                batch: 2,
+                keys: vec![10, 11],
+                grads: vec![0.25, -0.5, 1.0, 2.0],
+            },
+        )
+        .encode();
+        for byte in 0..enc.len() {
+            for bit in 0..8 {
+                let mut flipped = BytesMut::from(&enc[..]);
+                flipped[byte] ^= 1 << bit;
+                let err = Packet::decode(flipped.freeze())
+                    .expect_err(&format!("flip {byte}:{bit} must not decode"));
+                assert_eq!(err.kind(), ErrorKind::Corrupt, "flip {byte}:{bit}");
+            }
         }
     }
 
     #[test]
     fn unknown_type_rejected() {
-        let mut enc = BytesMut::from(&Frame::Request(Request::Hello).encode()[..]);
-        enc[3] = 0x7F;
-        assert_eq!(
-            Frame::decode(enc.freeze()),
-            Err(CodecError::UnknownType(0x7F))
-        );
+        // Rebuild a packet with an unknown msg type and a valid
+        // checksum: the type check must still reject it.
+        let mut pkt = BytesMut::new();
+        pkt.put_u16_le(MAGIC);
+        pkt.put_u8(VERSION);
+        pkt.put_u8(0x7F);
+        pkt.put_u32_le(1);
+        pkt.put_u64_le(1);
+        pkt.put_u32_le(0);
+        let checksum = fnv1a(FNV_OFFSET, &pkt[..]);
+        pkt.put_u64_le(checksum);
+        let err = Packet::decode(pkt.freeze()).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Corrupt);
+        assert!(err.context().contains("unknown message type"), "{err}");
     }
 
     #[test]
@@ -581,9 +758,9 @@ mod tests {
         cost.charge(CostKind::Serialized, 123);
         cost.charge(CostKind::Net, 456);
         cost.charge(CostKind::Net, 1);
-        let f = Frame::Response(Response::Ack { cost: cost.clone() });
-        let Frame::Response(Response::Ack { cost: back }) = Frame::decode(f.encode()).unwrap()
-        else {
+        let p = Packet::response(1, 1, Response::Ack { cost: cost.clone() });
+        let dec = Packet::decode(p.encode()).unwrap();
+        let Frame::Response(Response::Ack { cost: back }) = dec.frame else {
             panic!("wrong frame");
         };
         assert_eq!(back, cost);

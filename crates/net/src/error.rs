@@ -1,0 +1,216 @@
+//! The unified RPC error type.
+//!
+//! Everything that can go wrong between a client and a PS server —
+//! transport failures, codec corruption, deadline expiry, server-side
+//! refusals — is one structured [`Error`]: a [`ErrorKind`] carrying the
+//! retryability classification, a human-readable context string, and an
+//! optional source chain. This replaces the old `NetError`/`CodecError`
+//! split, so callers match on *kind* instead of juggling two error
+//! enums, and the retry layer can classify any failure with one call to
+//! [`Error::is_retryable`].
+
+/// What went wrong, and — implicitly — whether trying again can help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The deadline expired before a response arrived (dropped request
+    /// or response frame, stalled server). Retryable: the request may
+    /// never have been seen.
+    Timeout,
+    /// The server is gone (channel closed, process dead). Not
+    /// retryable against the same endpoint — this is the failover
+    /// trigger.
+    Disconnected,
+    /// A frame failed to decode or verify (truncation, bit flips, bad
+    /// magic, checksum mismatch, unknown discriminant). Retryable: the
+    /// healthy peer will re-serve an uncorrupted copy.
+    Corrupt,
+    /// The peer is alive but cannot take the request right now
+    /// (saturated queue, mid-promotion replica, post-failover
+    /// rollback). Retryable after backoff — possibly at a rewound
+    /// position.
+    Busy,
+    /// The server understood the request and refused it (protocol
+    /// violation, unsupported operation). Not retryable: the same
+    /// request will be refused again.
+    Rejected,
+}
+
+impl ErrorKind {
+    /// Whether a retry of the identical request can succeed.
+    pub fn is_retryable(self) -> bool {
+        match self {
+            ErrorKind::Timeout | ErrorKind::Corrupt | ErrorKind::Busy => true,
+            ErrorKind::Disconnected | ErrorKind::Rejected => false,
+        }
+    }
+
+    /// Stable wire discriminant (carried inside error responses).
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorKind::Timeout => 0,
+            ErrorKind::Disconnected => 1,
+            ErrorKind::Corrupt => 2,
+            ErrorKind::Busy => 3,
+            ErrorKind::Rejected => 4,
+        }
+    }
+
+    /// Inverse of [`ErrorKind::code`]; unknown codes collapse to
+    /// `Rejected` (a peer speaking a newer protocol refused us in a way
+    /// we cannot classify, so we must not blindly retry).
+    pub fn from_code(code: u8) -> Self {
+        match code {
+            0 => ErrorKind::Timeout,
+            1 => ErrorKind::Disconnected,
+            2 => ErrorKind::Corrupt,
+            3 => ErrorKind::Busy,
+            _ => ErrorKind::Rejected,
+        }
+    }
+
+    /// Stable name for telemetry labels and messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Disconnected => "disconnected",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Rejected => "rejected",
+        }
+    }
+}
+
+/// A structured RPC failure: kind + context + optional cause chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    kind: ErrorKind,
+    context: String,
+    source: Option<Box<Error>>,
+}
+
+impl Error {
+    /// Build an error of `kind` with a context message.
+    pub fn new(kind: ErrorKind, context: impl Into<String>) -> Self {
+        Self {
+            kind,
+            context: context.into(),
+            source: None,
+        }
+    }
+
+    /// Shorthand: [`ErrorKind::Timeout`].
+    pub fn timeout(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Timeout, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Disconnected`].
+    pub fn disconnected(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Disconnected, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Corrupt`].
+    pub fn corrupt(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Corrupt, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Busy`].
+    pub fn busy(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Busy, context)
+    }
+
+    /// Shorthand: [`ErrorKind::Rejected`].
+    pub fn rejected(context: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Rejected, context)
+    }
+
+    /// Attach the error that caused this one (chains display and
+    /// [`std::error::Error::source`]).
+    pub fn with_source(mut self, source: Error) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// The failure classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The context message (without the cause chain).
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+
+    /// Whether a retry of the identical request can succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.kind.is_retryable()
+    }
+
+    /// Walk to the root cause.
+    pub fn root_cause(&self) -> &Error {
+        let mut e = self;
+        while let Some(s) = &e.source {
+            e = s;
+        }
+        e
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.context)?;
+        if let Some(s) = &self.source {
+            write!(f, " (caused by: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|s| s.as_ref() as &(dyn std::error::Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(ErrorKind::Timeout.is_retryable());
+        assert!(ErrorKind::Corrupt.is_retryable());
+        assert!(ErrorKind::Busy.is_retryable());
+        assert!(!ErrorKind::Disconnected.is_retryable());
+        assert!(!ErrorKind::Rejected.is_retryable());
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for kind in [
+            ErrorKind::Timeout,
+            ErrorKind::Disconnected,
+            ErrorKind::Corrupt,
+            ErrorKind::Busy,
+            ErrorKind::Rejected,
+        ] {
+            assert_eq!(ErrorKind::from_code(kind.code()), kind);
+        }
+        // Unknown codes never classify as retryable.
+        assert_eq!(ErrorKind::from_code(0xEE), ErrorKind::Rejected);
+    }
+
+    #[test]
+    fn source_chain_displays_and_walks() {
+        let root = Error::corrupt("checksum mismatch");
+        let e = Error::timeout("pull deadline expired").with_source(root.clone());
+        let msg = e.to_string();
+        assert!(msg.contains("timeout"), "{msg}");
+        assert!(msg.contains("caused by"), "{msg}");
+        assert!(msg.contains("checksum"), "{msg}");
+        assert_eq!(e.root_cause(), &root);
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,15 +1,69 @@
-//! The PS server event loop: N worker threads decode request frames,
+//! The PS server event loop: N worker threads decode request packets,
 //! execute them against any [`PsEngine`], and reply — the reproduction
 //! of the paper's "multiple threads pre-allocated to handle the
-//! concurrent pull requests coming from the network" (§V-A, Fig. 5).
+//! concurrent pull requests coming from the network" (§V-A, Fig. 5) —
+//! now with exactly-once semantics for retried and duplicated
+//! requests.
+//!
+//! ## Replay cache
+//!
+//! Every request carries a `(client, seq)` idempotence token. Mutating
+//! requests (pull, push, end-pull, checkpoint) record their encoded
+//! response in a bounded replay cache keyed by that token; when a retry
+//! or a duplicated frame arrives with a token already present, the
+//! server returns the cached bytes without re-executing — a retried
+//! push applies its gradients exactly once no matter how many copies of
+//! the frame arrive. Reads are naturally idempotent and bypass the
+//! cache. The cache is bounded FIFO: tokens are only ever retried
+//! within a retry budget of their first attempt, so old entries are
+//! safe to evict.
 
-use crate::codec::{Frame, Request, Response};
+use crate::codec::{Frame, Packet, Request, Response};
+use crate::error::ErrorKind;
 use crate::transport::ServerTransport;
+use bytes::Bytes;
 use oe_core::engine::PsEngine;
 use oe_simdevice::Cost;
 use oe_telemetry::{Phase, PhaseTimes, Registry};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Replay-cache capacity: far beyond any in-flight retry window (a
+/// client retries a token at most `max_retries` times immediately
+/// after issuing it).
+const REPLAY_CAPACITY: usize = 4096;
+
+/// Bounded FIFO map from idempotence token to the encoded response.
+struct ReplayCache {
+    map: HashMap<(u32, u64), Bytes>,
+    order: VecDeque<(u32, u64)>,
+}
+
+impl ReplayCache {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, token: (u32, u64)) -> Option<Bytes> {
+        self.map.get(&token).cloned()
+    }
+
+    fn insert(&mut self, token: (u32, u64), encoded: Bytes) {
+        if self.map.insert(token, encoded).is_none() {
+            self.order.push_back(token);
+            while self.order.len() > REPLAY_CAPACITY {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
 
 /// A running server; joins its workers on [`ServerHandle::join`].
 pub struct ServerHandle {
@@ -28,7 +82,8 @@ impl ServerHandle {
     }
 
     /// The server's own telemetry registry (request counters, decode
-    /// failures, per-request decode/execute wall-clock latencies).
+    /// failures, replay hits, per-request decode/execute wall-clock
+    /// latencies).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
     }
@@ -47,11 +102,13 @@ impl PsServer {
         let registry = Arc::new(Registry::new());
         let requests = registry.counter("rpc_requests_total");
         let decode_errors = registry.counter("rpc_decode_errors_total");
+        let replay_hits = registry.counter("rpc_replay_hits_total");
         let phases = Arc::new(PhaseTimes::new(
             &registry,
             "rpc",
             &[Phase::RpcDecode, Phase::RpcExecute],
         ));
+        let replay = Arc::new(Mutex::new(ReplayCache::new()));
         let workers = (0..threads.max(1))
             .map(|_| {
                 let engine = Arc::clone(&engine);
@@ -59,7 +116,9 @@ impl PsServer {
                 let registry = Arc::clone(&registry);
                 let requests = requests.clone();
                 let decode_errors = decode_errors.clone();
+                let replay_hits = replay_hits.clone();
                 let phases = Arc::clone(&phases);
+                let replay = Arc::clone(&replay);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
                     while let Ok((req, reply)) = rx.recv() {
@@ -67,36 +126,80 @@ impl PsServer {
                         requests.inc();
                         let decoded = {
                             let _span = phases.span(Phase::RpcDecode);
-                            Frame::decode(req)
+                            Packet::decode(req)
                         };
                         // An undecodable frame still gets a reply: the
                         // client is blocked waiting on this call, and
-                        // silence would block it forever.
-                        let response = match decoded {
-                            Ok(Frame::Request(Request::Metrics)) => {
-                                let mut text = registry.render_text();
-                                text.push_str(&engine.metrics_text());
-                                Response::Metrics(text)
-                            }
-                            Ok(Frame::Request(r)) => {
-                                let _span = phases.span(Phase::RpcExecute);
-                                Self::execute(engine.as_ref(), r)
-                            }
-                            Ok(Frame::Response(_)) => {
-                                decode_errors.inc();
-                                Response::Error {
-                                    message: "unexpected response frame".to_string(),
+                        // silence would cost it a full deadline. A
+                        // corrupted packet's token is untrustworthy, so
+                        // the error reply carries token (0, 0) and is
+                        // never cached.
+                        let encoded = match decoded {
+                            Ok(pkt) => {
+                                let token = (pkt.client, pkt.seq);
+                                match pkt.frame {
+                                    Frame::Request(Request::Metrics) => {
+                                        let mut text = registry.render_text();
+                                        text.push_str(&engine.metrics_text());
+                                        Packet::response(token.0, token.1, Response::Metrics(text))
+                                            .encode()
+                                    }
+                                    Frame::Request(r) => {
+                                        let cached = if r.is_mutating() {
+                                            replay.lock().get(token)
+                                        } else {
+                                            None
+                                        };
+                                        match cached {
+                                            Some(bytes) => {
+                                                replay_hits.inc();
+                                                bytes
+                                            }
+                                            None => {
+                                                let mutating = r.is_mutating();
+                                                let resp = {
+                                                    let _span = phases.span(Phase::RpcExecute);
+                                                    Self::execute(engine.as_ref(), r)
+                                                };
+                                                let bytes =
+                                                    Packet::response(token.0, token.1, resp)
+                                                        .encode();
+                                                if mutating {
+                                                    replay.lock().insert(token, bytes.clone());
+                                                }
+                                                bytes
+                                            }
+                                        }
+                                    }
+                                    Frame::Response(_) => {
+                                        decode_errors.inc();
+                                        Packet::response(
+                                            token.0,
+                                            token.1,
+                                            Response::Error {
+                                                kind: ErrorKind::Rejected,
+                                                message: "unexpected response frame".to_string(),
+                                            },
+                                        )
+                                        .encode()
+                                    }
                                 }
                             }
                             Err(e) => {
                                 decode_errors.inc();
-                                Response::Error {
-                                    message: e.to_string(),
-                                }
+                                Packet::response(
+                                    0,
+                                    0,
+                                    Response::Error {
+                                        kind: e.kind(),
+                                        message: e.to_string(),
+                                    },
+                                )
+                                .encode()
                             }
                         };
                         // A vanished client is not a server error.
-                        let _ = reply.send(Frame::Response(response).encode());
+                        let _ = reply.send(encoded);
                     }
                     served
                 })
@@ -162,16 +265,26 @@ mod tests {
         (client, handle)
     }
 
+    fn call(client: &crate::transport::ClientTransport, pkt: Packet) -> Packet {
+        Packet::decode(client.call(pkt.encode(), None).unwrap()).unwrap()
+    }
+
     #[test]
     fn serves_pull_over_the_wire() {
         let (client, handle) = spawn_node();
-        let req = Frame::Request(Request::Pull {
-            batch: 1,
-            keys: vec![10, 20],
-        })
-        .encode();
-        let resp = Frame::decode(client.call(req).unwrap()).unwrap();
-        match resp {
+        let resp = call(
+            &client,
+            Packet::request(
+                1,
+                1,
+                Request::Pull {
+                    batch: 1,
+                    keys: vec![10, 20],
+                },
+            ),
+        );
+        assert_eq!((resp.client, resp.seq), (1, 1), "token echoed");
+        match resp.frame {
             Frame::Response(Response::Weights { weights, cost }) => {
                 assert_eq!(weights.len(), 8);
                 assert!(cost.total_ns() > 0, "server charges travel back");
@@ -185,14 +298,9 @@ mod tests {
     #[test]
     fn hello_reports_engine_identity() {
         let (client, handle) = spawn_node();
-        let resp = Frame::decode(
-            client
-                .call(Frame::Request(Request::Hello).encode())
-                .unwrap(),
-        )
-        .unwrap();
+        let resp = call(&client, Packet::request(1, 2, Request::Hello));
         assert_eq!(
-            resp,
+            resp.frame,
             Frame::Response(Response::HelloOk {
                 dim: 4,
                 name: "PMem-OE".into()
@@ -203,31 +311,139 @@ mod tests {
     }
 
     #[test]
-    fn garbage_frames_get_an_error_reply() {
+    fn duplicate_push_applies_exactly_once() {
+        let (client, handle) = spawn_node();
+        // Establish the key.
+        let pull = Packet::request(
+            7,
+            1,
+            Request::Pull {
+                batch: 1,
+                keys: vec![5],
+            },
+        );
+        call(&client, pull);
+        call(
+            &client,
+            Packet::request(7, 2, Request::EndPullPhase { batch: 1 }),
+        );
+        let w0 = match call(
+            &client,
+            Packet::request(7, 3, Request::ReadWeights { key: 5 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        // The same push token delivered three times (retry storm).
+        let push = Packet::request(
+            7,
+            4,
+            Request::Push {
+                batch: 1,
+                keys: vec![5],
+                grads: vec![1.0; 4],
+            },
+        );
+        let r1 = call(&client, push.clone());
+        let r2 = call(&client, push.clone());
+        let r3 = call(&client, push);
+        assert_eq!(r1, r2, "replayed response is byte-identical");
+        assert_eq!(r1, r3);
+        let w1 = match call(
+            &client,
+            Packet::request(7, 5, Request::ReadWeights { key: 5 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        // SGD lr=1: one application subtracts exactly the gradient.
+        for d in 0..4 {
+            assert!(
+                (w1[d] - (w0[d] - 1.0)).abs() < 1e-6,
+                "dim {d}: {} vs {} — gradient must apply exactly once",
+                w1[d],
+                w0[d] - 1.0
+            );
+        }
+        assert_eq!(
+            handle
+                .registry()
+                .snapshot()
+                .counter("rpc_replay_hits_total"),
+            Some(2)
+        );
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn distinct_clients_do_not_share_tokens() {
+        let (client, handle) = spawn_node();
+        call(
+            &client,
+            Packet::request(
+                1,
+                1,
+                Request::Pull {
+                    batch: 1,
+                    keys: vec![9],
+                },
+            ),
+        );
+        call(
+            &client,
+            Packet::request(1, 2, Request::EndPullPhase { batch: 1 }),
+        );
+        // Same seq, different client ids: both pushes must execute.
+        for cid in [10u32, 11] {
+            call(
+                &client,
+                Packet::request(
+                    cid,
+                    100,
+                    Request::Push {
+                        batch: 1,
+                        keys: vec![9],
+                        grads: vec![0.5; 4],
+                    },
+                ),
+            );
+        }
+        let resp = call(&client, Packet::request(1, 3, Request::Stats));
+        let Frame::Response(Response::Stats(s)) = resp.frame else {
+            panic!("unexpected {resp:?}");
+        };
+        assert_eq!(s.pushes, 2, "different clients both applied");
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn garbage_frames_get_a_structured_error_reply() {
         let (client, handle) = spawn_node();
         // A garbage frame must not be dropped silently — the caller is
-        // blocked on the reply. It gets an error response instead.
-        let resp = Frame::decode(
+        // blocked on the reply. It gets a structured error response.
+        let resp = Packet::decode(
             client
-                .call(bytes::Bytes::from_static(b"\xde\xad\xbe\xef"))
+                .call(bytes::Bytes::from_static(b"\xde\xad\xbe\xef"), None)
                 .unwrap(),
         )
         .unwrap();
-        match resp {
-            Frame::Response(Response::Error { message }) => {
+        match resp.frame {
+            Frame::Response(Response::Error { kind, message }) => {
+                assert_eq!(kind, ErrorKind::Corrupt);
                 assert!(!message.is_empty(), "reason travels back");
             }
             other => panic!("unexpected {other:?}"),
         }
         // The server keeps serving real requests afterwards and has
         // counted the decode failure.
-        let resp = Frame::decode(
-            client
-                .call(Frame::Request(Request::NumKeys).encode())
-                .unwrap(),
-        )
-        .unwrap();
-        assert_eq!(resp, Frame::Response(Response::Count(0)));
+        let resp = call(&client, Packet::request(1, 1, Request::NumKeys));
+        assert_eq!(resp.frame, Frame::Response(Response::Count(0)));
         assert_eq!(
             handle
                 .registry()
@@ -243,24 +459,25 @@ mod tests {
     fn metrics_rpc_renders_server_and_engine_registries() {
         let (client, handle) = spawn_node();
         // Generate some traffic first.
-        let pull = Frame::Request(Request::Pull {
-            batch: 1,
-            keys: vec![1, 2, 3],
-        })
-        .encode();
-        let _ = client.call(pull).unwrap();
-        let resp = Frame::decode(
-            client
-                .call(Frame::Request(Request::Metrics).encode())
-                .unwrap(),
-        )
-        .unwrap();
-        let Frame::Response(Response::Metrics(text)) = resp else {
+        call(
+            &client,
+            Packet::request(
+                1,
+                1,
+                Request::Pull {
+                    batch: 1,
+                    keys: vec![1, 2, 3],
+                },
+            ),
+        );
+        let resp = call(&client, Packet::request(1, 2, Request::Metrics));
+        let Frame::Response(Response::Metrics(text)) = resp.frame else {
             panic!("unexpected {resp:?}");
         };
         // Server-side metrics.
         assert!(text.contains("rpc_requests_total"), "text:\n{text}");
         assert!(text.contains("rpc_decode_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("rpc_replay_hits_total"), "text:\n{text}");
         // Engine-side metrics (PsNode registry appended).
         assert!(text.contains("oe_pulls_total 3"), "text:\n{text}");
         assert!(text.contains("oe_pull_latency_ns"));

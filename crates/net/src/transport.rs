@@ -1,36 +1,29 @@
 //! Transport abstraction: how request frames reach a PS server.
 //!
-//! The only implementation here is an in-process loopback (bounded
-//! crossbeam channels carrying frames with a per-call reply channel),
-//! standing in for the testbed's 30 Gb intranet exactly the way the
-//! simulated media stands in for Optane: the *protocol* is real, the
-//! physics is modelled (the client charges virtual network time per
-//! frame byte). A TCP transport would implement the same trait.
+//! The only concrete implementation here is an in-process loopback
+//! (bounded crossbeam channels carrying frames with a per-call reply
+//! channel), standing in for the testbed's 30 Gb intranet exactly the
+//! way the simulated media stands in for Optane: the *protocol* is
+//! real, the physics is modelled (the client charges virtual network
+//! time per frame byte). A TCP transport would implement the same
+//! trait. The [`crate::fault::FaultInjector`] composes over any
+//! `Transport` to inject seeded failures between the two halves.
+//!
+//! Calls take an optional deadline: a request that outlives it — queue
+//! saturated on send, or the response frame never arriving — fails
+//! with a structured [`Error`] of kind `Timeout` instead of blocking
+//! the caller forever, which is what makes retry policies possible.
 
+use crate::error::Error;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
-
-/// Transport-level failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum NetError {
-    /// The server is gone (channel closed).
-    Disconnected,
-}
-
-impl std::fmt::Display for NetError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            NetError::Disconnected => write!(f, "server disconnected"),
-        }
-    }
-}
-
-impl std::error::Error for NetError {}
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use std::time::{Duration, Instant};
 
 /// A synchronous request/response transport.
 pub trait Transport: Send + Sync {
-    /// Send a request frame and wait for the response frame.
-    fn call(&self, request: Bytes) -> Result<Bytes, NetError>;
+    /// Send a request frame and wait for the response frame. `deadline`
+    /// bounds the whole round trip; `None` waits indefinitely.
+    fn call(&self, request: Bytes, deadline: Option<Duration>) -> Result<Bytes, Error>;
 }
 
 /// One in-flight call: the request and where to send the reply.
@@ -44,12 +37,42 @@ pub struct ClientTransport {
 }
 
 impl Transport for ClientTransport {
-    fn call(&self, request: Bytes) -> Result<Bytes, NetError> {
+    fn call(&self, request: Bytes, deadline: Option<Duration>) -> Result<Bytes, Error> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send((request, reply_tx))
-            .map_err(|_| NetError::Disconnected)?;
-        reply_rx.recv().map_err(|_| NetError::Disconnected)
+        match deadline {
+            None => {
+                self.tx
+                    .send((request, reply_tx))
+                    .map_err(|_| Error::disconnected("server channel closed"))?;
+                reply_rx
+                    .recv()
+                    .map_err(|_| Error::disconnected("server dropped the reply channel"))
+            }
+            Some(limit) => {
+                let start = Instant::now();
+                match self.tx.send_timeout((request, reply_tx), limit) {
+                    Ok(()) => {}
+                    Err(SendTimeoutError::Timeout(_)) => {
+                        return Err(Error::timeout(format!(
+                            "request queue full for {limit:?} (server saturated)"
+                        )))
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        return Err(Error::disconnected("server channel closed"))
+                    }
+                }
+                let remaining = limit.saturating_sub(start.elapsed());
+                match reply_rx.recv_timeout(remaining) {
+                    Ok(reply) => Ok(reply),
+                    Err(RecvTimeoutError::Timeout) => Err(Error::timeout(format!(
+                        "no response within {limit:?} (frame dropped or server stalled)"
+                    ))),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        Err(Error::disconnected("server dropped the reply channel"))
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -82,6 +105,7 @@ pub fn loopback(queue_depth: usize) -> (ClientTransport, ServerTransport) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ErrorKind;
 
     #[test]
     fn echo_roundtrip() {
@@ -91,7 +115,7 @@ mod tests {
                 let _ = reply.send(req); // echo
             }
         });
-        let resp = client.call(Bytes::from_static(b"ping")).unwrap();
+        let resp = client.call(Bytes::from_static(b"ping"), None).unwrap();
         assert_eq!(&resp[..], b"ping");
         drop(client);
         h.join().unwrap();
@@ -101,10 +125,44 @@ mod tests {
     fn disconnected_server_errors() {
         let (client, server) = loopback(1);
         drop(server);
-        assert_eq!(
-            client.call(Bytes::from_static(b"x")),
-            Err(NetError::Disconnected)
-        );
+        let err = client.call(Bytes::from_static(b"x"), None).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Disconnected);
+    }
+
+    #[test]
+    fn deadline_expires_when_server_swallows_the_frame() {
+        let (client, server) = loopback(4);
+        // A server that receives but never replies: the reply channel
+        // stays open (envelope kept alive), so only the deadline can
+        // unblock the client.
+        let h = std::thread::spawn(move || {
+            let mut swallowed = Vec::new();
+            while let Some(env) = server.recv() {
+                swallowed.push(env);
+            }
+        });
+        let err = client
+            .call(Bytes::from_static(b"x"), Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Timeout);
+        assert!(err.is_retryable());
+        drop(client);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_expires_on_saturated_queue() {
+        let (client, _server) = loopback(1);
+        // Fill the queue (nobody serving), then the next send times out.
+        let (reply_tx, _reply_rx) = bounded(1);
+        client
+            .tx
+            .send((Bytes::from_static(b"a"), reply_tx))
+            .unwrap();
+        let err = client
+            .call(Bytes::from_static(b"b"), Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Timeout);
     }
 
     #[test]
@@ -121,7 +179,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for j in 0..100u8 {
                         let payload = Bytes::copy_from_slice(&[i, j]);
-                        let resp = c.call(payload.clone()).unwrap();
+                        let resp = c.call(payload.clone(), None).unwrap();
                         assert_eq!(resp, payload, "replies route to the right caller");
                     }
                 })

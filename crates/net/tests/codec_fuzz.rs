@@ -1,0 +1,102 @@
+//! Codec fuzzing: `Packet::decode` must never panic and must classify
+//! every malformed input as a structured `Corrupt` error — truncations,
+//! bit flips, and arbitrary garbage alike. Seeded proptest keeps the
+//! exploration reproducible.
+
+use bytes::{Bytes, BytesMut};
+use oe_net::{Error, ErrorKind, Frame, Packet, Request, Response};
+use proptest::prelude::*;
+
+fn assert_corrupt(res: Result<Packet, Error>, what: &str) {
+    match res {
+        Ok(_) => {} // a mutation can cancel out or hit a valid encoding; fine
+        Err(e) => assert_eq!(e.kind(), ErrorKind::Corrupt, "{what}: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 128,
+        rng_algorithm: prop::test_runner::RngAlgorithm::ChaCha,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary bytes: decode never panics, never misclassifies.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        assert_corrupt(Packet::decode(Bytes::from(bytes)), "garbage");
+    }
+
+    /// Any prefix of a valid frame is a structured Corrupt error.
+    #[test]
+    fn truncation_is_structured(
+        client in any::<u32>(),
+        seq in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 0..32),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let enc = Packet::request(client, seq, Request::Pull { batch: 1, keys }).encode();
+        let cut = ((enc.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < enc.len());
+        let err = Packet::decode(enc.slice(0..cut)).expect_err("truncated must not decode");
+        prop_assert_eq!(err.kind(), ErrorKind::Corrupt);
+    }
+
+    /// A single flipped bit anywhere in a Push frame — header, keys, or
+    /// the f32 gradient payload — is caught by the frame checksum.
+    #[test]
+    fn bit_flip_is_corrupt(
+        seq in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 1..16),
+        grads in prop::collection::vec(any::<f32>(), 1..64),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let enc = Packet::request(7, seq, Request::Push { batch: 3, keys, grads }).encode();
+        let byte = flip_byte.index(enc.len());
+        let mut mutated = BytesMut::from(&enc[..]);
+        mutated[byte] ^= 1 << flip_bit;
+        let err = Packet::decode(mutated.freeze())
+            .expect_err("a flipped bit must not decode cleanly");
+        prop_assert_eq!(err.kind(), ErrorKind::Corrupt);
+    }
+
+    /// The idempotence token round-trips exactly, and re-encoding a
+    /// decoded packet reproduces the original bytes — the byte-identity
+    /// the server's replay cache relies on for retried requests.
+    #[test]
+    fn token_and_bytes_roundtrip(
+        client in 1u32..,
+        seq in any::<u64>(),
+        batch in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let p = Packet::request(client, seq, Request::Pull { batch, keys });
+        let enc = p.encode();
+        let dec = Packet::decode(enc.clone()).expect("valid frame decodes");
+        prop_assert_eq!(dec.client, client);
+        prop_assert_eq!(dec.seq, seq);
+        prop_assert_eq!(&dec, &p);
+        prop_assert_eq!(dec.encode(), enc);
+    }
+
+    /// Error responses survive the wire with their kind intact, so
+    /// retryability classification crosses the boundary without string
+    /// matching.
+    #[test]
+    fn error_kind_crosses_the_wire(
+        code in 0u8..5,
+        message in prop::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|v| String::from_utf8_lossy(&v).into_owned()),
+    ) {
+        let kind = ErrorKind::from_code(code);
+        let p = Packet::response(0, 0, Response::Error { kind, message: message.clone() });
+        let dec = Packet::decode(p.encode()).unwrap();
+        let Frame::Response(Response::Error { kind: back, message: msg }) = dec.frame else {
+            panic!("wrong frame");
+        };
+        prop_assert_eq!(back, kind);
+        prop_assert_eq!(msg, message);
+        prop_assert_eq!(back.is_retryable(), kind.is_retryable());
+    }
+}

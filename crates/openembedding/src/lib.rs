@@ -49,6 +49,7 @@
 //! | [`baselines`] | DRAM-PS, Ori-Cache, PMem-Hash, TF-PS, incremental checkpointing |
 //! | [`workload`] | skew models fitted to the paper's trace, Criteo synth, analysis |
 //! | [`train`] | synchronous-training simulator, DeepFM, failure injection, cost model |
+//! | [`net`] | wire protocol, fault-injecting transports, retry/deadline, checkpoint failover |
 //! | [`telemetry`] | lock-free latency histograms, metric registry, phase spans, text exposition |
 
 pub mod layer;
@@ -72,13 +73,17 @@ pub mod prelude {
     pub use oe_core::{
         BatchId, CheckpointScheduler, Cluster, Key, NodeConfig, Optimizer, OptimizerKind, PsNode,
     };
-    pub use oe_net::{loopback, PsServer, RemotePs};
+    pub use oe_net::{
+        loopback, CheckpointReplica, FaultInjector, FaultSpec, NetConfig, PsClient, PsServer,
+        RemotePs, RetryPolicy,
+    };
     pub use oe_serve::{load_image, save_image, ServingNode};
     pub use oe_simdevice::{Cost, CostKind, DeviceTiming, Media, MediaConfig, VirtualClock};
     pub use oe_telemetry::{Histogram, HistogramSnapshot, Phase, PhaseTimes, Registry};
     pub use oe_train::model::{DeepFm, DeepFmConfig};
     pub use oe_train::{
-        CloudCostModel, GpuModel, NetModel, PsDeployment, SyncTrainer, TrainMode, TrainerConfig,
+        CloudCostModel, GpuModel, NetModel, PsDeployment, SyncTrainer, TrainMode, TrainReport,
+        TrainerConfig,
     };
     pub use oe_workload::{CriteoSynth, SkewModel, WorkloadGen, WorkloadSpec};
 }

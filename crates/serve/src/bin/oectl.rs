@@ -155,8 +155,7 @@ fn main() {
 fn metrics(image: oe_simdevice::CrashImage, batches: u64, cost: &mut Cost) {
     use oe_core::recovery::recover_node;
     use oe_core::{NodeConfig, OptimizerKind, PsEngine};
-    use oe_net::client::NetCharge;
-    use oe_net::{loopback, PsServer, RemotePs};
+    use oe_net::{loopback, NetConfig, PsServer, RemotePs};
 
     let media = Arc::new(Media::from_crash(image));
     let Some((pool, report)) = recover(Arc::clone(&media), cost) else {
@@ -188,7 +187,7 @@ fn metrics(image: oe_simdevice::CrashImage, batches: u64, cost: &mut Cost) {
     let engine: Arc<dyn PsEngine> = Arc::new(node);
     let (client_t, server_t) = loopback(64);
     let handle = PsServer::spawn(engine, server_t, 2);
-    let remote = RemotePs::connect(Arc::new(client_t), NetCharge::paper_default());
+    let remote = RemotePs::connect(Arc::new(client_t), NetConfig::paper_default());
 
     let grads = vec![0.0f32; keys.len() * cfg.dim];
     let mut out = Vec::new();

@@ -65,7 +65,7 @@ impl ServingNode {
         let index = report.live.iter().map(|r| (r.key, r.id)).collect();
         let cap = cache_entries.max(1);
         let registry = Arc::new(Registry::new());
-        let phases = PhaseTimes::new(&registry, "serve", &[Phase::ServeLookup, Phase::ServeTopk]);
+        let phases = PhaseTimes::new(&registry, "", &[Phase::ServeLookup, Phase::ServeTopk]);
         let hits = registry.counter("serve_cache_hits_total");
         let misses = registry.counter("serve_cache_misses_total");
         let unknown = registry.counter("serve_unknown_keys_total");

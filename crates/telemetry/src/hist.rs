@@ -155,11 +155,7 @@ impl HistogramSnapshot {
 
     /// Arithmetic mean (ns), or 0 when empty.
     pub fn mean(&self) -> u64 {
-        if self.total == 0 {
-            0
-        } else {
-            self.sum / self.total
-        }
+        self.sum.checked_div(self.total).unwrap_or(0)
     }
 
     /// Largest recorded value (exact).

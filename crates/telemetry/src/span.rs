@@ -41,11 +41,17 @@ pub enum Phase {
     /// Shard-plan result merge: fan-out of deduped payloads to the
     /// response buffer in original key order.
     Merge,
+    /// Client-side retry backoff wait (virtual time charged between
+    /// RPC attempts).
+    RetryBackoff,
+    /// Failover promotion: checkpoint scan + index rebuild on the
+    /// replica (virtual recovery time).
+    FailoverRecovery,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 15] = [
         Phase::Pull,
         Phase::Maintain,
         Phase::Flush,
@@ -59,6 +65,8 @@ impl Phase {
         Phase::Dedup,
         Phase::Execute,
         Phase::Merge,
+        Phase::RetryBackoff,
+        Phase::FailoverRecovery,
     ];
 
     /// Stable metric-name fragment.
@@ -77,6 +85,8 @@ impl Phase {
             Phase::Dedup => "dedup",
             Phase::Execute => "execute",
             Phase::Merge => "merge",
+            Phase::RetryBackoff => "retry_backoff",
+            Phase::FailoverRecovery => "failover_recovery",
         }
     }
 
@@ -92,16 +102,22 @@ impl Phase {
 /// so each component's exposition shows only histograms it can fill.
 #[derive(Debug)]
 pub struct PhaseTimes {
-    hists: [Option<HistogramHandle>; 13],
+    hists: [Option<HistogramHandle>; 15],
 }
 
 impl PhaseTimes {
     /// Register `phases` in `registry` as
-    /// `{prefix}_{phase}_latency_ns` histograms.
+    /// `{prefix}_{phase}_latency_ns` histograms (an empty prefix
+    /// registers `{phase}_latency_ns` — for phases whose names already
+    /// carry their component, like `serve_lookup`).
     pub fn new(registry: &Registry, prefix: &str, phases: &[Phase]) -> Self {
-        let mut hists: [Option<HistogramHandle>; 13] = Default::default();
+        let mut hists: [Option<HistogramHandle>; 15] = Default::default();
         for &p in phases {
-            let name = format!("{prefix}_{}_latency_ns", p.name());
+            let name = if prefix.is_empty() {
+                format!("{}_latency_ns", p.name())
+            } else {
+                format!("{prefix}_{}_latency_ns", p.name())
+            };
             hists[p.index()] = Some(registry.histogram(&name));
         }
         Self { hists }

@@ -29,6 +29,12 @@ pub struct TrainReport {
     pub checkpoints_taken: u64,
     /// Committed checkpoint at the end of the run.
     pub committed_checkpoint: BatchId,
+    /// Completed failovers (primary died, a checkpoint replica was
+    /// promoted) absorbed during the run.
+    pub failovers: u64,
+    /// Batches that had completed but were discarded and replayed
+    /// because a failover rolled state back to the committed checkpoint.
+    pub rewound_batches: u64,
     /// Fig. 2-style per-millisecond trace, when recorded.
     pub trace_per_ms: Option<Vec<MsBucket>>,
     /// Distribution of pull-burst durations across batches.
@@ -104,6 +110,8 @@ mod tests {
             avg_loss: None,
             checkpoints_taken: 0,
             committed_checkpoint: 0,
+            failovers: 0,
+            rewound_batches: 0,
             trace_per_ms: None,
             pull_hist: HistogramSnapshot::default(),
             maintain_hist: HistogramSnapshot::default(),

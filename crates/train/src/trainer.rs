@@ -4,6 +4,16 @@
 //! synthetic) gradients and pushes them back; in virtual time, the
 //! driver composes the engine's charged costs with the GPU/network
 //! models per the paper's batch anatomy (see crate docs).
+//!
+//! The trainer is backend-agnostic: it drives either an in-process
+//! [`PsEngine`] (the historical path, still the default) or any
+//! [`PsClient`] — including [`oe_net::RemotePs`] on the far side of a
+//! fault-injected wire. Fallible backends surface failures through
+//! [`SyncTrainer::try_run`]; when the client completes a failover
+//! (promoting a checkpoint replica), the trainer charges the recovery
+//! pause on the virtual clock and *rewinds* to the committed
+//! checkpoint's successor batch, replaying deterministically — the
+//! paper's §VI-E recovery story, end to end.
 
 use crate::gpu::GpuModel;
 use crate::model::{DeepFm, DeepFmConfig};
@@ -13,11 +23,12 @@ use crate::report::TrainReport;
 use oe_core::engine::PsEngine;
 use oe_core::init::init_weight;
 use oe_core::{BatchId, CheckpointScheduler};
+use oe_net::{Error as NetError, FailoverEvent, PsClient};
 use oe_simdevice::clock::Nanos;
 use oe_simdevice::{ContentionModel, Cost, VirtualClock};
 use oe_telemetry::Histogram;
 use oe_workload::trace::{TraceKind, TraceRecorder};
-use oe_workload::WorkloadGen;
+use oe_workload::{WorkloadGen, WorkloadSpec};
 
 /// How gradients are produced.
 pub enum TrainMode {
@@ -80,9 +91,135 @@ impl TrainerConfig {
     }
 }
 
+/// The PS the trainer drives: in-process engine or fallible client.
+#[derive(Clone, Copy)]
+enum Backend<'a> {
+    Engine(&'a dyn PsEngine),
+    Client(&'a dyn PsClient),
+}
+
+impl<'a> Backend<'a> {
+    fn name(&self) -> String {
+        match self {
+            Backend::Engine(e) => e.name().to_string(),
+            Backend::Client(c) => c.backend_name(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            Backend::Engine(e) => e.dim(),
+            Backend::Client(c) => c.embed_dim(),
+        }
+    }
+
+    fn pull(
+        &self,
+        keys: &[u64],
+        b: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), NetError> {
+        match self {
+            Backend::Engine(e) => {
+                e.pull(keys, b, out, cost);
+                Ok(())
+            }
+            Backend::Client(c) => c.pull_batch(keys, b, out, cost),
+        }
+    }
+
+    fn end_pull_phase(&self, b: BatchId) -> Result<oe_core::engine::MaintenanceReport, NetError> {
+        match self {
+            Backend::Engine(e) => Ok(e.end_pull_phase(b)),
+            Backend::Client(c) => c.flush_batch(b),
+        }
+    }
+
+    fn push(
+        &self,
+        keys: &[u64],
+        grads: &[f32],
+        b: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), NetError> {
+        match self {
+            Backend::Engine(e) => {
+                e.push(keys, grads, b, cost);
+                Ok(())
+            }
+            Backend::Client(c) => c.push_batch(keys, grads, b, cost),
+        }
+    }
+
+    fn request_checkpoint(&self, b: BatchId) -> Result<Cost, NetError> {
+        match self {
+            Backend::Engine(e) => Ok(e.request_checkpoint(b)),
+            Backend::Client(c) => c.checkpoint(b),
+        }
+    }
+
+    fn stats(&self) -> Result<oe_core::stats::StatsSnapshot, NetError> {
+        match self {
+            Backend::Engine(e) => Ok(e.stats()),
+            Backend::Client(c) => c.snapshot_stats(),
+        }
+    }
+
+    fn committed_checkpoint(&self) -> Result<BatchId, NetError> {
+        match self {
+            Backend::Engine(e) => Ok(e.committed_checkpoint()),
+            Backend::Client(c) => c.committed(),
+        }
+    }
+
+    fn failover_resume(&self) -> Option<FailoverEvent> {
+        match self {
+            Backend::Engine(_) => None,
+            Backend::Client(c) => c.failover_resume(),
+        }
+    }
+}
+
+/// Immutable per-run context shared by every batch.
+struct BatchCtx {
+    dim: usize,
+    spec: WorkloadSpec,
+    pull_model: ContentionModel,
+    maint_model: ContentionModel,
+    ckpt_model: ContentionModel,
+}
+
+/// Mutable per-run accumulators.
+struct RunAcc {
+    phases: PhaseBreakdown,
+    loss_sum: f64,
+    loss_count: u64,
+    ckpts_taken: u64,
+    pull_hist: Histogram,
+    maintain_hist: Histogram,
+    push_hist: Histogram,
+    batch_hist: Histogram,
+}
+
+impl RunAcc {
+    fn new() -> Self {
+        Self {
+            phases: PhaseBreakdown::default(),
+            loss_sum: 0.0,
+            loss_count: 0,
+            ckpts_taken: 0,
+            pull_hist: Histogram::new(),
+            maintain_hist: Histogram::new(),
+            push_hist: Histogram::new(),
+            batch_hist: Histogram::new(),
+        }
+    }
+}
+
 /// The synchronous trainer. Drives one engine over one workload.
 pub struct SyncTrainer<'a> {
-    engine: &'a dyn PsEngine,
+    backend: Backend<'a>,
     gen: &'a WorkloadGen,
     cfg: TrainerConfig,
     clock: VirtualClock,
@@ -91,11 +228,23 @@ pub struct SyncTrainer<'a> {
 }
 
 impl<'a> SyncTrainer<'a> {
-    /// Build a trainer.
+    /// Build a trainer over an in-process engine.
     pub fn new(engine: &'a dyn PsEngine, gen: &'a WorkloadGen, cfg: TrainerConfig) -> Self {
+        Self::build(Backend::Engine(engine), gen, cfg)
+    }
+
+    /// Build a trainer over any [`PsClient`] backend — an in-process
+    /// `PsNode`, an `EngineClient` adapter, or a `RemotePs` with
+    /// retries and failover. Use [`SyncTrainer::try_run`] with remote
+    /// backends so failures surface as values.
+    pub fn with_client(client: &'a dyn PsClient, gen: &'a WorkloadGen, cfg: TrainerConfig) -> Self {
+        Self::build(Backend::Client(client), gen, cfg)
+    }
+
+    fn build(backend: Backend<'a>, gen: &'a WorkloadGen, cfg: TrainerConfig) -> Self {
         let model = match &cfg.mode {
             TrainMode::DeepFm(mcfg) => {
-                assert_eq!(mcfg.dim, engine.dim(), "model dim must match PS");
+                assert_eq!(mcfg.dim, backend.dim(), "model dim must match PS");
                 assert_eq!(
                     mcfg.fields,
                     gen.spec().fields,
@@ -106,7 +255,7 @@ impl<'a> SyncTrainer<'a> {
             TrainMode::Synthetic { .. } => None,
         };
         Self {
-            engine,
+            backend,
             gen,
             cfg,
             clock: VirtualClock::new(),
@@ -136,174 +285,217 @@ impl<'a> SyncTrainer<'a> {
     }
 
     /// Run `batches` batches starting at `start_batch` (1-based batch
-    /// ids; pass the recovery resume point + 1 after a crash).
+    /// ids; pass the recovery resume point + 1 after a crash). Panics
+    /// on backend failure — use [`SyncTrainer::try_run`] with remote
+    /// backends.
     pub fn run(&mut self, start_batch: BatchId, batches: u64) -> TrainReport {
-        let dim = self.engine.dim();
-        let spec = self.gen.spec().clone();
-        let pull_model =
-            ContentionModel::new(self.cfg.ps_service_threads, self.cfg.burst_streams());
-        let maint_model =
-            ContentionModel::new(self.cfg.maintainer_threads, self.cfg.maintainer_threads);
-        let ckpt_model = ContentionModel::new(self.cfg.ps_service_threads, 1);
+        self.try_run(start_batch, batches)
+            .unwrap_or_else(|e| panic!("training backend failed: {e}"))
+    }
 
-        let stats0 = self.engine.stats();
-        let mut phases = PhaseBreakdown::default();
-        let mut loss_sum = 0.0f64;
-        let mut loss_count = 0u64;
-        let mut ckpts_taken = 0u64;
-        // Per-phase virtual-latency distributions (telemetry histograms:
-        // same bucket geometry as the simulator's, snapshotted into the
-        // report for quantile queries and JSON serialization).
-        let pull_hist = Histogram::new();
-        let maintain_hist = Histogram::new();
-        let push_hist = Histogram::new();
-        let batch_hist = Histogram::new();
+    /// Fallible run. A backend error that the client resolved by
+    /// failing over (see [`oe_net::FailoverEvent`]) charges the
+    /// recovery time on the clock and rewinds to the committed
+    /// checkpoint's successor; with deterministic (synthetic)
+    /// gradients the replay is bit-identical to a fault-free run.
+    /// Unresolved errors propagate.
+    pub fn try_run(&mut self, start_batch: BatchId, batches: u64) -> Result<TrainReport, NetError> {
+        let ctx = BatchCtx {
+            dim: self.backend.dim(),
+            spec: self.gen.spec().clone(),
+            pull_model: ContentionModel::new(self.cfg.ps_service_threads, self.cfg.burst_streams()),
+            maint_model: ContentionModel::new(
+                self.cfg.maintainer_threads,
+                self.cfg.maintainer_threads,
+            ),
+            ckpt_model: ContentionModel::new(self.cfg.ps_service_threads, 1),
+        };
 
-        for b in start_batch..start_batch + batches {
-            let mut batch_phase = PhaseBreakdown::default();
+        let stats0 = self.backend.stats()?;
+        let mut acc = RunAcc::new();
+        let mut failovers = 0u64;
+        let mut rewound_batches = 0u64;
 
-            // ---- pull burst ----
-            // Engines that execute on parallel shard lanes have already
-            // lane-merged their per-request cost (max-over-lanes for
-            // parallelizable kinds, sum for the rest): the aggregate
-            // passes through the ContentionModel unchanged, exactly like
-            // a single-lane engine's.
-            let mut pull_cost = Cost::new();
-            let mut net_pull: Nanos = 0;
-            let mut worker_data = Vec::with_capacity(self.cfg.workers as usize);
-            for w in 0..self.cfg.workers {
-                let wb = self.gen.worker_batch(b, w as usize);
-                let mut weights = Vec::new();
-                self.engine
-                    .pull(&wb.unique_keys, b, &mut weights, &mut pull_cost);
-                net_pull = net_pull.max(self.cfg.net.pull_ns(wb.unique_keys.len(), dim));
-                worker_data.push((wb, weights));
-            }
-            batch_phase.pull_ns = pull_model.burst_ns(&pull_cost) + net_pull;
-            if self.cfg.record_trace {
-                let total: u64 = worker_data
-                    .iter()
-                    .map(|(wb, _)| wb.unique_keys.len() as u64)
-                    .sum();
-                self.trace.record(self.clock.now(), TraceKind::Pull, total);
-            }
-
-            // ---- deferred maintenance ∥ GPU compute ----
-            let m = self.engine.end_pull_phase(b);
-            batch_phase.maintain_ns = maint_model.burst_ns(&m.cost);
-            batch_phase.compute_ns = self.cfg.gpu.compute_ns(
-                spec.batch_size / self.cfg.workers.max(1) as usize,
-                spec.fields,
-                dim,
-            );
-            batch_phase.spill_ns = batch_phase
-                .maintain_ns
-                .saturating_sub(batch_phase.compute_ns);
-
-            // ---- gradient computation (functional) + push burst ----
-            let mut push_cost = Cost::new();
-            let mut net_push: Nanos = 0;
-            for (wb, weights) in &worker_data {
-                let keys = &wb.unique_keys;
-                let mut grads = vec![0.0f32; keys.len() * dim];
-                match &mut self.cfg.mode {
-                    TrainMode::Synthetic { grad_scale } => {
-                        let scale = *grad_scale;
-                        for (i, &k) in keys.iter().enumerate() {
-                            for d in 0..dim {
-                                grads[i * dim + d] = init_weight(b ^ 0x5A5A, k, d, scale);
-                            }
-                        }
+        let end = start_batch + batches;
+        let mut b = start_batch;
+        while b < end {
+            match self.run_batch(b, &ctx, &mut acc) {
+                Ok(()) => b += 1,
+                Err(err) => match self.backend.failover_resume() {
+                    Some(ev) => {
+                        // The promoted standby's state ends at the
+                        // committed checkpoint: everything after it —
+                        // including the batch that died mid-flight —
+                        // must replay. Recovery time is charged on the
+                        // clock like any other pause; batches already
+                        // *counted* stay counted (acc keeps their
+                        // phases) and the replay adds on top, so
+                        // total_ns reflects the true cost of failure.
+                        let resume = ev.resume_batch + 1;
+                        failovers += 1;
+                        rewound_batches += b.saturating_sub(resume);
+                        self.clock.advance(ev.recovery_ns);
+                        b = resume;
                     }
-                    TrainMode::DeepFm(_) => {
-                        let model = self.model.as_mut().expect("model built");
-                        let mut emb = vec![0.0f32; spec.fields * dim];
-                        for (ii, input) in wb.input_keys.iter().enumerate() {
-                            for (f, k) in input.iter().enumerate() {
-                                let idx = keys.binary_search(k).expect("key pulled");
-                                emb[f * dim..(f + 1) * dim]
-                                    .copy_from_slice(&weights[idx * dim..(idx + 1) * dim]);
-                            }
-                            let label = Self::teacher_label(input, b, ii);
-                            let (loss, d_emb) = model.train_example(&emb, &[], label);
-                            loss_sum += loss as f64;
-                            loss_count += 1;
-                            for (f, k) in input.iter().enumerate() {
-                                let idx = keys.binary_search(k).expect("key pulled");
-                                for d in 0..dim {
-                                    grads[idx * dim + d] += d_emb[f * dim + d];
-                                }
-                            }
-                        }
-                    }
-                }
-                self.engine.push(keys, &grads, b, &mut push_cost);
-                net_push = net_push.max(self.cfg.net.push_ns(keys.len(), dim));
+                    None => return Err(err),
+                },
             }
-            if let Some(model) = self.model.as_mut() {
-                model.step_dense(); // synchronous allreduce equivalent
-            }
-            batch_phase.push_ns = pull_model.burst_ns(&push_cost) + net_push;
-            if self.cfg.record_trace {
-                let total: u64 = worker_data
-                    .iter()
-                    .map(|(wb, _)| wb.unique_keys.len() as u64)
-                    .sum();
-                self.trace.record(
-                    self.clock.now() + batch_phase.pull_ns + batch_phase.compute_ns,
-                    TraceKind::Update,
-                    total,
-                );
-            }
-
-            self.clock.advance(
-                batch_phase.pull_ns
-                    + batch_phase.compute_ns
-                    + batch_phase.spill_ns
-                    + batch_phase.push_ns,
-            );
-
-            // ---- checkpoint (synchronous, at the batch boundary) ----
-            if let Some(cp) = self.cfg.ckpt.due(self.clock.now(), b) {
-                let inline = self.engine.request_checkpoint(cp);
-                let mut pause = ckpt_model.burst_ns(&inline);
-                pause += self.cfg.dense_ckpt_pause_ns;
-                batch_phase.ckpt_pause_ns = pause;
-                self.clock.advance(pause);
-                ckpts_taken += 1;
-            }
-
-            pull_hist.record(batch_phase.pull_ns);
-            maintain_hist.record(batch_phase.maintain_ns);
-            push_hist.record(batch_phase.push_ns);
-            batch_hist.record(batch_phase.total_ns());
-            phases.accumulate(&batch_phase);
         }
 
-        TrainReport {
-            engine: self.engine.name().to_string(),
+        Ok(TrainReport {
+            engine: self.backend.name(),
             workers: self.cfg.workers,
             batches,
             total_ns: self.clock.now(),
-            phases,
-            stats: self.engine.stats().delta_since(&stats0),
-            avg_loss: if loss_count > 0 {
-                Some(loss_sum / loss_count as f64)
+            phases: acc.phases,
+            stats: self.backend.stats()?.delta_since(&stats0),
+            avg_loss: if acc.loss_count > 0 {
+                Some(acc.loss_sum / acc.loss_count as f64)
             } else {
                 None
             },
-            checkpoints_taken: ckpts_taken,
-            committed_checkpoint: self.engine.committed_checkpoint(),
+            checkpoints_taken: acc.ckpts_taken,
+            committed_checkpoint: self.backend.committed_checkpoint()?,
+            failovers,
+            rewound_batches,
             trace_per_ms: if self.cfg.record_trace {
                 Some(self.trace.per_ms())
             } else {
                 None
             },
-            pull_hist: pull_hist.snapshot(),
-            maintain_hist: maintain_hist.snapshot(),
-            push_hist: push_hist.snapshot(),
-            batch_hist: batch_hist.snapshot(),
+            pull_hist: acc.pull_hist.snapshot(),
+            maintain_hist: acc.maintain_hist.snapshot(),
+            push_hist: acc.push_hist.snapshot(),
+            batch_hist: acc.batch_hist.snapshot(),
+        })
+    }
+
+    /// One full batch: pull burst, maintenance ∥ compute, gradients,
+    /// push burst, optional checkpoint. Accumulates into `acc` only on
+    /// success paths reached; a mid-batch error leaves the virtual
+    /// clock where the batch started (the failover rewind replays the
+    /// whole batch).
+    fn run_batch(&mut self, b: BatchId, ctx: &BatchCtx, acc: &mut RunAcc) -> Result<(), NetError> {
+        let backend = self.backend;
+        let dim = ctx.dim;
+        let mut batch_phase = PhaseBreakdown::default();
+
+        // ---- pull burst ----
+        // Engines that execute on parallel shard lanes have already
+        // lane-merged their per-request cost (max-over-lanes for
+        // parallelizable kinds, sum for the rest): the aggregate
+        // passes through the ContentionModel unchanged, exactly like
+        // a single-lane engine's.
+        let mut pull_cost = Cost::new();
+        let mut net_pull: Nanos = 0;
+        let mut worker_data = Vec::with_capacity(self.cfg.workers as usize);
+        for w in 0..self.cfg.workers {
+            let wb = self.gen.worker_batch(b, w as usize);
+            let mut weights = Vec::new();
+            backend.pull(&wb.unique_keys, b, &mut weights, &mut pull_cost)?;
+            net_pull = net_pull.max(self.cfg.net.pull_ns(wb.unique_keys.len(), dim));
+            worker_data.push((wb, weights));
         }
+        batch_phase.pull_ns = ctx.pull_model.burst_ns(&pull_cost) + net_pull;
+        if self.cfg.record_trace {
+            let total: u64 = worker_data
+                .iter()
+                .map(|(wb, _)| wb.unique_keys.len() as u64)
+                .sum();
+            self.trace.record(self.clock.now(), TraceKind::Pull, total);
+        }
+
+        // ---- deferred maintenance ∥ GPU compute ----
+        let m = backend.end_pull_phase(b)?;
+        batch_phase.maintain_ns = ctx.maint_model.burst_ns(&m.cost);
+        batch_phase.compute_ns = self.cfg.gpu.compute_ns(
+            ctx.spec.batch_size / self.cfg.workers.max(1) as usize,
+            ctx.spec.fields,
+            dim,
+        );
+        batch_phase.spill_ns = batch_phase
+            .maintain_ns
+            .saturating_sub(batch_phase.compute_ns);
+
+        // ---- gradient computation (functional) + push burst ----
+        let mut push_cost = Cost::new();
+        let mut net_push: Nanos = 0;
+        for (wb, weights) in &worker_data {
+            let keys = &wb.unique_keys;
+            let mut grads = vec![0.0f32; keys.len() * dim];
+            match &mut self.cfg.mode {
+                TrainMode::Synthetic { grad_scale } => {
+                    let scale = *grad_scale;
+                    for (i, &k) in keys.iter().enumerate() {
+                        for d in 0..dim {
+                            grads[i * dim + d] = init_weight(b ^ 0x5A5A, k, d, scale);
+                        }
+                    }
+                }
+                TrainMode::DeepFm(_) => {
+                    let model = self.model.as_mut().expect("model built");
+                    let mut emb = vec![0.0f32; ctx.spec.fields * dim];
+                    for (ii, input) in wb.input_keys.iter().enumerate() {
+                        for (f, k) in input.iter().enumerate() {
+                            let idx = keys.binary_search(k).expect("key pulled");
+                            emb[f * dim..(f + 1) * dim]
+                                .copy_from_slice(&weights[idx * dim..(idx + 1) * dim]);
+                        }
+                        let label = Self::teacher_label(input, b, ii);
+                        let (loss, d_emb) = model.train_example(&emb, &[], label);
+                        acc.loss_sum += loss as f64;
+                        acc.loss_count += 1;
+                        for (f, k) in input.iter().enumerate() {
+                            let idx = keys.binary_search(k).expect("key pulled");
+                            for d in 0..dim {
+                                grads[idx * dim + d] += d_emb[f * dim + d];
+                            }
+                        }
+                    }
+                }
+            }
+            backend.push(keys, &grads, b, &mut push_cost)?;
+            net_push = net_push.max(self.cfg.net.push_ns(keys.len(), dim));
+        }
+        if let Some(model) = self.model.as_mut() {
+            model.step_dense(); // synchronous allreduce equivalent
+        }
+        batch_phase.push_ns = ctx.pull_model.burst_ns(&push_cost) + net_push;
+        if self.cfg.record_trace {
+            let total: u64 = worker_data
+                .iter()
+                .map(|(wb, _)| wb.unique_keys.len() as u64)
+                .sum();
+            self.trace.record(
+                self.clock.now() + batch_phase.pull_ns + batch_phase.compute_ns,
+                TraceKind::Update,
+                total,
+            );
+        }
+
+        self.clock.advance(
+            batch_phase.pull_ns
+                + batch_phase.compute_ns
+                + batch_phase.spill_ns
+                + batch_phase.push_ns,
+        );
+
+        // ---- checkpoint (synchronous, at the batch boundary) ----
+        if let Some(cp) = self.cfg.ckpt.due(self.clock.now(), b) {
+            let inline = backend.request_checkpoint(cp)?;
+            let mut pause = ctx.ckpt_model.burst_ns(&inline);
+            pause += self.cfg.dense_ckpt_pause_ns;
+            batch_phase.ckpt_pause_ns = pause;
+            self.clock.advance(pause);
+            acc.ckpts_taken += 1;
+        }
+
+        acc.pull_hist.record(batch_phase.pull_ns);
+        acc.maintain_hist.record(batch_phase.maintain_ns);
+        acc.push_hist.record(batch_phase.push_ns);
+        acc.batch_hist.record(batch_phase.total_ns());
+        acc.phases.accumulate(&batch_phase);
+        Ok(())
     }
 }
 
@@ -351,6 +543,8 @@ mod tests {
         );
         assert!(r.phases.compute_ns > 0);
         assert!(r.avg_loss.is_none());
+        assert_eq!(r.failovers, 0);
+        assert_eq!(r.rewound_batches, 0);
         // Every phase histogram carries one sample per batch.
         for (name, h) in [
             ("pull", &r.pull_hist),
@@ -373,6 +567,23 @@ mod tests {
             t.run(1, 8).total_ns
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn client_backend_matches_engine_backend() {
+        let report_for = |client: bool| {
+            let n = node();
+            let gen = WorkloadGen::new(small_spec(2));
+            let cfg = TrainerConfig::paper(2);
+            let mut t = if client {
+                SyncTrainer::with_client(&n, &gen, cfg)
+            } else {
+                SyncTrainer::new(&n, &gen, cfg)
+            };
+            let r = t.try_run(1, 8).expect("in-process backends are infallible");
+            (r.total_ns, r.stats.pulls, r.stats.pushes)
+        };
+        assert_eq!(report_for(false), report_for(true));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cargo run --release --example distributed
 //! ```
 
-use openembedding::net::client::NetCharge;
+use openembedding::net::NetConfig;
 use openembedding::prelude::*;
 use std::sync::Arc;
 
@@ -26,7 +26,7 @@ fn main() {
     // 2. Connect a remote engine handle: the handshake discovers the
     //    engine identity; after this the wire is invisible to the
     //    trainer.
-    let remote = RemotePs::connect(Arc::new(client_transport), NetCharge::paper_default());
+    let remote = RemotePs::connect(Arc::new(client_transport), NetConfig::paper_default());
     println!(
         "client: connected to \"{}\" serving dim-{} embeddings\n",
         remote.name(),

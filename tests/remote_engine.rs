@@ -2,7 +2,7 @@
 //! exactly like the engine it fronts, including under the full trainer,
 //! checkpointing, and concurrent access.
 
-use openembedding::net::client::NetCharge;
+use openembedding::net::NetConfig;
 use openembedding::prelude::*;
 use std::sync::Arc;
 
@@ -32,7 +32,7 @@ fn remote_over(engine: Arc<dyn PsEngine>) -> (RemotePs, openembedding::net::Serv
     let (ct, st) = loopback(32);
     let handle = PsServer::spawn(engine, st, 4);
     (
-        RemotePs::connect(Arc::new(ct), NetCharge::paper_default()),
+        RemotePs::connect(Arc::new(ct), NetConfig::paper_default()),
         handle,
     )
 }
@@ -123,7 +123,7 @@ fn many_clients_share_one_server() {
     let ct = Arc::new(ct);
 
     // Warm via one client.
-    let first = RemotePs::connect(ct.clone(), NetCharge::paper_default());
+    let first = RemotePs::connect(ct.clone(), NetConfig::paper_default());
     let keys: Vec<u64> = (0..128).collect();
     let mut out = Vec::new();
     let mut cost = Cost::new();
@@ -137,7 +137,7 @@ fn many_clients_share_one_server() {
             let keys = keys.clone();
             let expected = expected.clone();
             std::thread::spawn(move || {
-                let client = RemotePs::connect(ct, NetCharge::paper_default());
+                let client = RemotePs::connect(ct, NetConfig::paper_default());
                 let mut out = Vec::new();
                 let mut cost = Cost::new();
                 for b in 2..10 {
