@@ -22,6 +22,20 @@ cargo test --release -q -p openembedding --test fault_suite
 echo "==> kill-mid-epoch failover smoke"
 cargo test --release -q -p openembedding --test failover_e2e
 
+echo "==> crash-point enumeration sweep"
+if [[ "${CRASHMC_FULL:-0}" == "1" ]]; then
+  # Exhaustive: every persistence event, every optimizer (slow).
+  cargo test --release -q -p openembedding --test crashmc
+  cargo run --release -p oe-bench --bin crashmc -- --out BENCH_crashmc.json
+else
+  # Bounded: SGD exhaustive via the test, stride-sampled bench sweep.
+  cargo test --release -q -p openembedding --test crashmc -- \
+    exhaustive_sweep_sgd_holds_every_invariant \
+    crash_during_recovery_is_exhaustively_idempotent \
+    standby_promotes_consistently_from_enumerated_crash_points
+  cargo run --release -p oe-bench --bin crashmc -- --smoke --out BENCH_crashmc.json
+fi
+
 echo "==> pull/push hot-path bench (smoke)"
 cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.json
 

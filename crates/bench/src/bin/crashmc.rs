@@ -1,0 +1,51 @@
+//! Crash-point enumeration bench: durability coverage JSON artifact.
+//!
+//! ```sh
+//! cargo run --release -p oe-bench --bin crashmc            # exhaustive
+//! cargo run --release -p oe-bench --bin crashmc -- --smoke # CI shape
+//! cargo run --release -p oe-bench --bin crashmc -- --smoke --out BENCH_crashmc.json
+//! ```
+
+use oe_bench::crashmc::{print_report, run, CrashMcBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: crashmc [--smoke] [--out PATH]   (unknown arg: {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = if smoke {
+        CrashMcBenchConfig::smoke()
+    } else {
+        CrashMcBenchConfig::paper()
+    };
+    let report = run(&cfg);
+    print_report(&report);
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").expect("write bench artifact");
+        println!("wrote {path}");
+    }
+    if report.violations_found > 0 {
+        eprintln!(
+            "FAIL: {} durability violations at enumerated crash points",
+            report.violations_found
+        );
+        std::process::exit(1);
+    }
+}

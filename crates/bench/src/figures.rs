@@ -744,6 +744,18 @@ pub fn failover(sc: &Scenario) {
 }
 
 /// Run everything.
+/// crashmc — exhaustive crash-point enumeration coverage.
+pub fn crashmc(sc: &Scenario) {
+    hr("crashmc — crash-point enumeration of the persistence protocol");
+    let cfg = if sc.batch_size < 1024 {
+        crate::crashmc::CrashMcBenchConfig::smoke()
+    } else {
+        crate::crashmc::CrashMcBenchConfig::paper()
+    };
+    let r = crate::crashmc::run(&cfg);
+    crate::crashmc::print_report(&r);
+}
+
 pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     table1(sc);
     table2(sc);
@@ -764,4 +776,5 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     ablations(sc);
     pullpush(sc);
     failover(sc);
+    crashmc(sc);
 }

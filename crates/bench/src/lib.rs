@@ -15,15 +15,21 @@
 //! - [`failover`] — fault-tolerance bench: retry overhead at 0/1/5%
 //!   frame loss and checkpoint-failover recovery latency, emitted as
 //!   `BENCH_failover.json` by the `failover` binary.
+//! - [`crashmc`] — crash-point enumeration sweep: every persistence
+//!   event of a reference run is crashed, recovered, and checked
+//!   against the durability invariants, emitted as `BENCH_crashmc.json`
+//!   by the `crashmc` binary.
 //!
 //! Run `cargo run --release -p oe-bench --bin figures -- all` (or a
 //! single id, or `--quick` for a fast pass).
 
+pub mod crashmc;
 pub mod failover;
 pub mod figures;
 pub mod pullpush;
 pub mod scenario;
 
+pub use crashmc::{CrashMcBenchConfig, CrashMcReport};
 pub use failover::{FailoverConfig, FailoverReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};

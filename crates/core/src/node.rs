@@ -124,6 +124,18 @@ impl PsNode {
         Self::with_pool(cfg, pool)
     }
 
+    /// Create a fresh node on caller-provided (empty) PMem media. Lets
+    /// a crash-enumeration harness arm a
+    /// [`oe_simdevice::Media`] crash plan *before* pool creation, so
+    /// even the pool-format persistence events (root write + fence) are
+    /// enumerable crash points.
+    pub fn on_media(cfg: NodeConfig, media: Arc<oe_simdevice::Media>) -> Self {
+        cfg.validate();
+        let mut cost = Cost::new();
+        let pool = PmemPool::create_on(media, cfg.payload_bytes(), &mut cost);
+        Self::with_pool(cfg, pool)
+    }
+
     fn with_pool(cfg: NodeConfig, pool: PmemPool) -> Self {
         let per_shard = cfg.cache_entries_per_shard();
         let shards = (0..cfg.shards)

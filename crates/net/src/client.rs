@@ -19,6 +19,13 @@
 //!   `core::recovery`, and the failing call returns a structured
 //!   `Busy` error carrying the rewind point — see
 //!   [`crate::failover`] for why failover is not transparent;
+//! - a failover *fences* the dead primary's tokens: the swap bumps a
+//!   transport generation, so a concurrent call whose token was minted
+//!   against the old primary returns `Busy` instead of retrying it
+//!   against the rewound standby, and a [`Request::SeqFence`] teaches
+//!   the promoted server to reject any straggler outright — a push the
+//!   dead primary applied but never acknowledged cannot apply a second
+//!   time after the trainer's replay;
 //! - retries, timeouts, corrupt frames, failovers, backoff waits, and
 //!   recovery latency all land in the client's telemetry registry,
 //!   prepended to [`PsEngine::metrics_text`] exposition.
@@ -51,6 +58,13 @@ static NEXT_CLIENT_ID: AtomicU32 = AtomicU32::new(1);
 /// A PS engine on the far side of a transport.
 pub struct RemotePs {
     transport: Mutex<Arc<dyn Transport>>,
+    /// Bumped (under the transport lock) every time a failover swaps
+    /// the transport. A call records the generation when it mints its
+    /// idempotence token; if the generation moved before any attempt,
+    /// the token belongs to the dead primary's timeline and must not be
+    /// (re)sent — the promoted node was rolled back, the trainer will
+    /// replay, and a straggling retry would double-apply.
+    transport_gen: AtomicU64,
     standbys: Mutex<VecDeque<Arc<dyn Standby>>>,
     cfg: NetConfig,
     client_id: u32,
@@ -100,6 +114,7 @@ impl RemotePs {
         );
         let this = Self {
             transport: Mutex::new(transport),
+            transport_gen: AtomicU64::new(0),
             standbys: Mutex::new(VecDeque::new()),
             cfg,
             client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
@@ -159,7 +174,25 @@ impl RemotePs {
                 .ok_or_else(|| Error::disconnected("primary dead and no standby left"))?;
             match standby.promote() {
                 Ok(promo) => {
-                    *self.transport.lock() = Arc::clone(&promo.transport);
+                    // Fence this client's entire pre-failover sequence
+                    // space on the promoted server before exposing the
+                    // transport: a token minted against the dead primary
+                    // (possibly applied there, and unknown to the fresh
+                    // replay cache) must never execute on the rewound
+                    // node. Defense in depth alongside the generation
+                    // check in `call_result` — it also covers frames
+                    // already past that check and sitting in a queue.
+                    let floor = self.seq.load(Ordering::Relaxed).saturating_sub(1);
+                    let fence_seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                    let fence =
+                        Packet::request(self.client_id, fence_seq, Request::SeqFence { floor })
+                            .encode();
+                    let _ = promo.transport.call(fence, self.cfg.deadline);
+                    {
+                        let mut guard = self.transport.lock();
+                        *guard = Arc::clone(&promo.transport);
+                        self.transport_gen.fetch_add(1, Ordering::Release);
+                    }
                     self.failovers.inc();
                     self.phases
                         .record_ns(Phase::FailoverRecovery, promo.recovery_ns);
@@ -184,9 +217,28 @@ impl RemotePs {
     fn call_result(&self, req: Request, cost: &mut Cost) -> Result<Response, Error> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let frame = Packet::request(self.client_id, seq, req).encode();
+        let birth_gen = self.transport_gen.load(Ordering::Acquire);
         let mut attempt = 0u32;
         loop {
-            let transport = Arc::clone(&*self.transport.lock());
+            // Read the transport and its generation as one consistent
+            // pair (the failover swap bumps the generation under the
+            // same lock).
+            let (transport, gen) = {
+                let guard = self.transport.lock();
+                (
+                    Arc::clone(&*guard),
+                    self.transport_gen.load(Ordering::Acquire),
+                )
+            };
+            if gen != birth_gen {
+                // Another thread failed over while this token was alive.
+                // Its timeline died with the primary: the promoted node
+                // is rolled back to the committed checkpoint and the
+                // trainer replays the lost batches with fresh tokens, so
+                // retrying this token (which the dead primary may
+                // already have applied) would double-apply the update.
+                return Err(self.stale_after_failover(seq));
+            }
             let outcome = match transport.call(frame.clone(), self.cfg.deadline) {
                 Ok(reply) => {
                     self.cfg.charge.charge(frame.len() + reply.len(), cost);
@@ -229,6 +281,13 @@ impl RemotePs {
                 // node is rolled back to the committed checkpoint, so
                 // this call must NOT be retried against it — surface a
                 // Busy error carrying the rewind point instead.
+                //
+                // Unless another thread got there first: then the swap
+                // already happened and burning a second standby for the
+                // same dead primary would be wrong.
+                if self.transport_gen.load(Ordering::Acquire) != birth_gen {
+                    return Err(self.stale_after_failover(seq).with_source(err));
+                }
                 let event = self.failover().map_err(|fe| fe.with_source(err.clone()))?;
                 return Err(Error::busy(format!(
                     "failed over to standby; state rolled back to committed checkpoint, \
@@ -253,6 +312,23 @@ impl RemotePs {
             self.phases.record_ns(Phase::RetryBackoff, backoff);
             self.retries.inc();
             attempt += 1;
+        }
+    }
+
+    /// The structured verdict for a token orphaned by a failover that
+    /// happened underneath it: `Busy` (the trainer treats it exactly
+    /// like the error the failing-over thread itself received —
+    /// collect [`PsClient::failover_resume`], rewind, replay).
+    fn stale_after_failover(&self, seq: u64) -> Error {
+        match (*self.pending_failover.lock()).map(|e| e.resume_batch) {
+            Some(b) => Error::busy(format!(
+                "failed over while seq {seq} was in flight; state rolled back to the \
+                 committed checkpoint, resume from batch {b}"
+            )),
+            None => Error::busy(format!(
+                "failed over while seq {seq} was in flight; state rolled back to the \
+                 committed checkpoint"
+            )),
         }
     }
 
@@ -649,6 +725,128 @@ mod tests {
             "{} vs {expect} — retries must not double-apply",
             w[0]
         );
+    }
+
+    #[test]
+    fn kill_between_send_and_ack_never_double_applies() {
+        use crate::failover::CheckpointReplica;
+        use bytes::Bytes;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        // A wire that delivers one doomed push to the primary but loses
+        // the ack with the dying machine, then reports the primary dead.
+        struct AckEater {
+            inner: Arc<dyn Transport>,
+            doomed: AtomicBool,
+            applied: Mutex<mpsc::Sender<()>>,
+            release: Mutex<mpsc::Receiver<()>>,
+        }
+        impl Transport for AckEater {
+            fn call(&self, frame: Bytes, deadline: Option<Duration>) -> Result<Bytes, Error> {
+                if let Ok(pkt) = Packet::decode(frame.clone()) {
+                    match pkt.frame {
+                        Frame::Request(Request::Push { batch: 2, .. })
+                            if self.doomed.swap(false, Ordering::SeqCst) =>
+                        {
+                            // The primary applies the push…
+                            let _ = self.inner.call(frame, deadline);
+                            // …then dies before the ack gets out. Hold
+                            // the caller until the failover elsewhere
+                            // completes, then report the lost ack.
+                            self.applied.lock().send(()).unwrap();
+                            self.release.lock().recv().unwrap();
+                            return Err(Error::timeout("ack lost in the crash"));
+                        }
+                        Frame::Request(Request::Committed) => {
+                            return Err(Error::disconnected("primary dead"));
+                        }
+                        _ => {}
+                    }
+                }
+                self.inner.call(frame, deadline)
+            }
+        }
+
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        let node = PsNode::new(cfg.clone());
+        let media = Arc::clone(node.pool().media());
+        let engine: Arc<dyn PsEngine> = Arc::new(node);
+        let (client_t, server_t) = loopback(32);
+        let _primary = PsServer::spawn(engine, server_t, 2);
+        let (applied_tx, applied_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let eater = Arc::new(AckEater {
+            inner: Arc::new(client_t),
+            doomed: AtomicBool::new(true),
+            applied: Mutex::new(applied_tx),
+            release: Mutex::new(release_rx),
+        });
+        let replica = Arc::new(CheckpointReplica::new(media, cfg, 2, 4, 5));
+        let remote = RemotePs::connect(eater, NetConfig::paper_default()).with_standby(replica);
+
+        // Batch 1 trains and checkpoints; batch 2's maintenance commits.
+        let keys = [5u64];
+        let mut cost = Cost::new();
+        let mut out = Vec::new();
+        remote.pull_batch(&keys, 1, &mut out, &mut cost).unwrap();
+        remote.flush_batch(1).unwrap();
+        remote.push_batch(&keys, &[1.0; 4], 1, &mut cost).unwrap();
+        remote.checkpoint(1).unwrap();
+        out.clear();
+        remote.pull_batch(&keys, 2, &mut out, &mut cost).unwrap();
+        remote.flush_batch(2).unwrap();
+        let w_committed = remote.weights_of(5).unwrap().unwrap();
+
+        // The doomed push: applied by the primary, ack never arrives,
+        // primary found dead by a concurrent call, standby promoted.
+        std::thread::scope(|s| {
+            let doomed = s.spawn(|| {
+                let mut cost = Cost::new();
+                remote.push_batch(&keys, &[1.0; 4], 2, &mut cost)
+            });
+            applied_rx.recv().unwrap();
+            let err = remote.committed().unwrap_err();
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Busy,
+                "failover surfaces rewind: {err}"
+            );
+            release_tx.send(()).unwrap();
+            let err = doomed.join().unwrap().unwrap_err();
+            // The regression: this retry used to go out with its old
+            // token against the promoted server's empty replay cache
+            // and re-execute the already-applied push.
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Busy,
+                "stale token must be orphaned, not retried: {err}"
+            );
+        });
+        let event = remote.failover_resume().expect("failover recorded");
+        assert_eq!(event.resume_batch, 1);
+
+        // The promoted node holds exactly the committed checkpoint —
+        // the doomed push died with the primary.
+        assert_eq!(remote.weights_of(5).unwrap().unwrap(), w_committed);
+
+        // The trainer's replay of batch 2 (fresh tokens, past the
+        // fence) lands the push exactly once.
+        out.clear();
+        remote.pull_batch(&keys, 2, &mut out, &mut cost).unwrap();
+        remote.flush_batch(2).unwrap();
+        remote.push_batch(&keys, &[1.0; 4], 2, &mut cost).unwrap();
+        let w = remote.weights_of(5).unwrap().unwrap();
+        for d in 0..4 {
+            assert!(
+                (w[d] - (w_committed[d] - 1.0)).abs() < 1e-6,
+                "dim {d}: {} vs {} — the replayed push must apply exactly once",
+                w[d],
+                w_committed[d] - 1.0
+            );
+        }
     }
 
     #[test]

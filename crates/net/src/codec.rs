@@ -111,12 +111,26 @@ pub enum Request {
     /// Telemetry exposition: server + engine registries rendered as
     /// Prometheus-style text.
     Metrics,
+    /// Idempotence-token fence: the issuing client promises it will
+    /// never need a *new* execution for any of its sequence numbers
+    /// `<= floor`. The server records the floor and answers every later
+    /// mutating request at or below it with a `Rejected` error instead
+    /// of executing. Sent by a client right after promoting a standby:
+    /// tokens minted against the dead primary must not execute on the
+    /// rewound replacement (the trainer replays those batches with
+    /// fresh tokens), or a straggling retry would double-apply.
+    SeqFence {
+        /// Highest fenced-off sequence number (inclusive).
+        floor: u64,
+    },
 }
 
 impl Request {
     /// Whether executing this request mutates server state — only
     /// mutating requests enter the replay cache; reads are naturally
-    /// idempotent.
+    /// idempotent. `SeqFence` mutates only replay bookkeeping and is
+    /// idempotent by construction (floors only ratchet up), so it
+    /// bypasses the cache too.
     pub fn is_mutating(&self) -> bool {
         matches!(
             self,
@@ -303,6 +317,7 @@ impl Frame {
                 Request::NumKeys => 0x08,
                 Request::Hello => 0x09,
                 Request::Metrics => 0x0A,
+                Request::SeqFence { .. } => 0x0B,
             },
             Frame::Response(r) => match r {
                 Response::Weights { .. } => 0x81,
@@ -335,6 +350,7 @@ impl Frame {
                     body.put_u64_le(*batch);
                 }
                 Request::ReadWeights { key } => body.put_u64_le(*key),
+                Request::SeqFence { floor } => body.put_u64_le(*floor),
                 Request::Committed
                 | Request::Stats
                 | Request::NumKeys
@@ -421,6 +437,9 @@ impl Frame {
             0x08 => Frame::Request(Request::NumKeys),
             0x09 => Frame::Request(Request::Hello),
             0x0A => Frame::Request(Request::Metrics),
+            0x0B => Frame::Request(Request::SeqFence {
+                floor: get_u64(body)?,
+            }),
             0x81 => Frame::Response(Response::Weights {
                 weights: get_f32s(body)?,
                 cost: get_cost(body)?,
@@ -611,6 +630,14 @@ mod tests {
         roundtrip(Frame::Request(Request::NumKeys));
         roundtrip(Frame::Request(Request::Hello));
         roundtrip(Frame::Request(Request::Metrics));
+        roundtrip(Frame::Request(Request::SeqFence { floor: u64::MAX }));
+    }
+
+    #[test]
+    fn seq_fence_bypasses_the_replay_cache() {
+        // The fence itself must never be cached: a replayed stale fence
+        // could otherwise shadow a later, higher floor.
+        assert!(!Request::SeqFence { floor: 7 }.is_mutating());
     }
 
     #[test]

@@ -17,6 +17,18 @@
 //! cache. The cache is bounded FIFO: tokens are only ever retried
 //! within a retry budget of their first attempt, so old entries are
 //! safe to evict.
+//!
+//! ## Sequence fences
+//!
+//! A freshly promoted standby starts with an *empty* replay cache, so a
+//! stale retry minted against the dead primary would re-execute there —
+//! on a node that was just rolled back to the committed checkpoint and
+//! whose lost batches the trainer is about to replay with fresh tokens.
+//! [`Request::SeqFence`] closes that hole: the failing-over client
+//! fences its entire pre-failover sequence space, and the server
+//! answers any mutating request at or below the recorded floor with a
+//! `Rejected` error instead of executing it. Floors only ratchet
+//! upward and are tracked per client id.
 
 use crate::codec::{Frame, Packet, Request, Response};
 use crate::error::ErrorKind;
@@ -103,12 +115,14 @@ impl PsServer {
         let requests = registry.counter("rpc_requests_total");
         let decode_errors = registry.counter("rpc_decode_errors_total");
         let replay_hits = registry.counter("rpc_replay_hits_total");
+        let stale_rejects = registry.counter("rpc_stale_seq_rejections_total");
         let phases = Arc::new(PhaseTimes::new(
             &registry,
             "rpc",
             &[Phase::RpcDecode, Phase::RpcExecute],
         ));
         let replay = Arc::new(Mutex::new(ReplayCache::new()));
+        let seq_floors: Arc<Mutex<HashMap<u32, u64>>> = Arc::new(Mutex::new(HashMap::new()));
         let workers = (0..threads.max(1))
             .map(|_| {
                 let engine = Arc::clone(&engine);
@@ -117,8 +131,10 @@ impl PsServer {
                 let requests = requests.clone();
                 let decode_errors = decode_errors.clone();
                 let replay_hits = replay_hits.clone();
+                let stale_rejects = stale_rejects.clone();
                 let phases = Arc::clone(&phases);
                 let replay = Arc::clone(&replay);
+                let seq_floors = Arc::clone(&seq_floors);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
                     while let Ok((req, reply)) = rx.recv() {
@@ -144,30 +160,69 @@ impl PsServer {
                                         Packet::response(token.0, token.1, Response::Metrics(text))
                                             .encode()
                                     }
+                                    Frame::Request(Request::SeqFence { floor }) => {
+                                        // Ratchet only upward: a delayed
+                                        // duplicate of an older fence must
+                                        // not reopen already-fenced seqs.
+                                        let mut floors = seq_floors.lock();
+                                        let f = floors.entry(token.0).or_insert(0);
+                                        *f = (*f).max(floor);
+                                        Packet::response(
+                                            token.0,
+                                            token.1,
+                                            Response::Ack { cost: Cost::new() },
+                                        )
+                                        .encode()
+                                    }
                                     Frame::Request(r) => {
-                                        let cached = if r.is_mutating() {
-                                            replay.lock().get(token)
+                                        let fenced = r.is_mutating()
+                                            && seq_floors
+                                                .lock()
+                                                .get(&token.0)
+                                                .is_some_and(|&floor| token.1 <= floor);
+                                        if fenced {
+                                            // Never cached: the reject is
+                                            // stateless and the token's
+                                            // owner has already moved on.
+                                            stale_rejects.inc();
+                                            Packet::response(
+                                                token.0,
+                                                token.1,
+                                                Response::Error {
+                                                    kind: ErrorKind::Rejected,
+                                                    message: format!(
+                                                        "seq {} at or below fence floor: \
+                                                         token predates a failover",
+                                                        token.1
+                                                    ),
+                                                },
+                                            )
+                                            .encode()
                                         } else {
-                                            None
-                                        };
-                                        match cached {
-                                            Some(bytes) => {
-                                                replay_hits.inc();
-                                                bytes
-                                            }
-                                            None => {
-                                                let mutating = r.is_mutating();
-                                                let resp = {
-                                                    let _span = phases.span(Phase::RpcExecute);
-                                                    Self::execute(engine.as_ref(), r)
-                                                };
-                                                let bytes =
-                                                    Packet::response(token.0, token.1, resp)
-                                                        .encode();
-                                                if mutating {
-                                                    replay.lock().insert(token, bytes.clone());
+                                            let cached = if r.is_mutating() {
+                                                replay.lock().get(token)
+                                            } else {
+                                                None
+                                            };
+                                            match cached {
+                                                Some(bytes) => {
+                                                    replay_hits.inc();
+                                                    bytes
                                                 }
-                                                bytes
+                                                None => {
+                                                    let mutating = r.is_mutating();
+                                                    let resp = {
+                                                        let _span = phases.span(Phase::RpcExecute);
+                                                        Self::execute(engine.as_ref(), r)
+                                                    };
+                                                    let bytes =
+                                                        Packet::response(token.0, token.1, resp)
+                                                            .encode();
+                                                    if mutating {
+                                                        replay.lock().insert(token, bytes.clone());
+                                                    }
+                                                    bytes
+                                                }
                                             }
                                         }
                                     }
@@ -246,6 +301,9 @@ impl PsServer {
             // prepends its own registry); kept here so `execute` stays
             // total over `Request`.
             Request::Metrics => Response::Metrics(engine.metrics_text()),
+            // Also intercepted in the worker loop (floors live beside
+            // the replay cache, not in the engine).
+            Request::SeqFence { .. } => Response::Ack { cost: Cost::new() },
         }
     }
 }
@@ -374,6 +432,151 @@ mod tests {
                 .registry()
                 .snapshot()
                 .counter("rpc_replay_hits_total"),
+            Some(2)
+        );
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn seq_fence_rejects_stale_mutations_per_client() {
+        let (client, handle) = spawn_node();
+        // Establish key 3 for client 7.
+        call(
+            &client,
+            Packet::request(
+                7,
+                1,
+                Request::Pull {
+                    batch: 1,
+                    keys: vec![3],
+                },
+            ),
+        );
+        call(
+            &client,
+            Packet::request(7, 2, Request::EndPullPhase { batch: 1 }),
+        );
+        let w0 = match call(
+            &client,
+            Packet::request(7, 3, Request::ReadWeights { key: 3 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Client 7 fences its first 10 seqs (as it would after failover).
+        let resp = call(
+            &client,
+            Packet::request(7, 11, Request::SeqFence { floor: 10 }),
+        );
+        assert!(matches!(resp.frame, Frame::Response(Response::Ack { .. })));
+        // A straggling pre-failover push (seq 4 <= floor) must NOT
+        // execute on this server — with an empty replay cache it would
+        // double-apply after the trainer's replay.
+        let stale = call(
+            &client,
+            Packet::request(
+                7,
+                4,
+                Request::Push {
+                    batch: 1,
+                    keys: vec![3],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        match stale.frame {
+            Frame::Response(Response::Error { kind, message }) => {
+                assert_eq!(kind, ErrorKind::Rejected, "stale seq must not retry");
+                assert!(message.contains("fence"), "{message}");
+            }
+            other => panic!("stale push executed: {other:?}"),
+        }
+        let w1 = match call(
+            &client,
+            Packet::request(7, 12, Request::ReadWeights { key: 3 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(w0, w1, "fenced push left weights untouched");
+        // Floors are per client: client 8's seq 4 is not fenced.
+        call(
+            &client,
+            Packet::request(
+                8,
+                4,
+                Request::Push {
+                    batch: 1,
+                    keys: vec![3],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        // Post-fence seqs from client 7 execute normally.
+        call(
+            &client,
+            Packet::request(
+                7,
+                13,
+                Request::Push {
+                    batch: 1,
+                    keys: vec![3],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        let w2 = match call(
+            &client,
+            Packet::request(7, 14, Request::ReadWeights { key: 3 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        for d in 0..4 {
+            assert!(
+                (w2[d] - (w0[d] - 2.0)).abs() < 1e-6,
+                "exactly the two unfenced pushes applied"
+            );
+        }
+        // An older duplicate fence must not lower the floor.
+        call(
+            &client,
+            Packet::request(7, 15, Request::SeqFence { floor: 2 }),
+        );
+        let still = call(
+            &client,
+            Packet::request(
+                7,
+                9,
+                Request::Push {
+                    batch: 1,
+                    keys: vec![3],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        assert!(
+            matches!(
+                still.frame,
+                Frame::Response(Response::Error {
+                    kind: ErrorKind::Rejected,
+                    ..
+                })
+            ),
+            "floor ratchets up only"
+        );
+        assert_eq!(
+            handle
+                .registry()
+                .snapshot()
+                .counter("rpc_stale_seq_rejections_total"),
             Some(2)
         );
         drop(client);

@@ -282,6 +282,13 @@ impl PmemPool {
         self.alloc.lock().free = free;
     }
 
+    /// Snapshot of the current free list (slot accounting checks: the
+    /// crash-point harness asserts free ∪ live partitions `0..high_water`
+    /// with no duplicates after every recovery).
+    pub fn free_list_ids(&self) -> Vec<SlotId> {
+        self.alloc.lock().free.clone()
+    }
+
     /// Scan bound for recovery: persisted high water mark.
     pub(crate) fn persisted_high_water(&self) -> u64 {
         self.alloc.lock().persisted_high_water

@@ -63,10 +63,12 @@ pub fn scan(pool: &PmemPool, cost: &mut Cost) -> ScanReport {
     // *sequential* streaming cost instead of per-slot random-read costs.
     let mut scratch_cost = Cost::new();
     let ckpt = pool.checkpoint_id(&mut scratch_cost);
-    let hw = {
-        // persisted high water bounds the scan after a crash
-        pool.scan_bytes() / pool.slot_bytes().max(1)
-    };
+    // The persisted high-water mark bounds the scan after a crash.
+    // Deriving it as `scan_bytes() / slot_bytes` counted the 64 B root
+    // line as a slot whenever `slot_bytes == 64`, conjuring a phantom
+    // `SlotId(high_water)` into the recovered free list; see the
+    // `recovered_free_list_has_no_phantom_slot` regression below.
+    let hw = pool.persisted_high_water();
 
     let mut best: HashMap<u64, (SlotId, u64)> = HashMap::new();
     let mut report = ScanReport {
@@ -275,6 +277,57 @@ mod tests {
             c_big.total_ns(),
             c_small.total_ns()
         );
+    }
+
+    #[test]
+    fn recovered_free_list_has_no_phantom_slot() {
+        // Regression (crashmc sweep): the scan bound used to be computed
+        // as `scan_bytes() / slot_bytes`, which counts the 64 B root line
+        // as a slot whenever `slot_bytes == 64`, so the never-allocated
+        // `SlotId(high_water)` entered the recovered free list. A
+        // free-list pop and the bump allocator (`next == high_water`)
+        // would then hand out the same slot twice, cross-linking two
+        // keys. First exposed at crash-event index 9 of the minimal
+        // one-slot run (the torn checkpoint-id fence); any index
+        // reproduces it.
+        use oe_simdevice::CrashPlan;
+        let (p, mut cost) = new_pool();
+        assert_eq!(p.slot_bytes(), 64, "layout the bug depends on");
+        p.media().arm_crash_plan(CrashPlan {
+            at_event: 9,
+            seed: 3,
+        });
+        let id = p.alloc(&mut cost); // events 2-3 (high-water persist)
+        p.write_slot(id, 1, 1, &[1.0; 4], &mut cost); // events 4-7
+        p.set_checkpoint_id(1, &mut cost); // events 8-9: torn commit
+        let image = p.media().take_crash_capture().expect("event 9 reached");
+        let mut rcost = Cost::new();
+        let (p2, report) =
+            recover(Arc::new(Media::from_crash(image)), &mut rcost).expect("recoverable");
+        let hw = p2.high_water();
+        let free = p2.free_list_ids();
+        assert!(
+            free.iter().all(|s| s.0 < hw),
+            "phantom slot at/beyond high water {hw} in recovered free list"
+        );
+        let mut dedup = free.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), free.len(), "duplicate ids in free list");
+        // free ∪ live partitions 0..hw exactly (no leaks, no overlap).
+        assert_eq!(free.len() as u64 + report.live.len() as u64, hw);
+        for r in &report.live {
+            assert!(!free.contains(&r.id), "live slot {:?} also free", r.id);
+        }
+        // Draining the free list then bump-allocating must never repeat.
+        let mut seen = std::collections::HashSet::new();
+        for r in &report.live {
+            seen.insert(r.id);
+        }
+        let mut c = Cost::new();
+        for _ in 0..=hw.min(1100) {
+            assert!(seen.insert(p2.alloc(&mut c)), "slot handed out twice");
+        }
     }
 
     #[test]

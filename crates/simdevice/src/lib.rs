@@ -34,4 +34,4 @@ pub use contention::{amdahl_burst, shared_bandwidth_ns, ContentionModel};
 pub use cost::{Cost, CostKind};
 pub use device::{DeviceKind, DeviceTiming};
 pub use hist::LatencyHistogram;
-pub use media::{CrashImage, Media, MediaConfig, CACHE_LINE};
+pub use media::{CrashImage, CrashPlan, Media, MediaConfig, CACHE_LINE};

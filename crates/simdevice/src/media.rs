@@ -76,6 +76,21 @@ struct DirtyLine {
     flushed: bool,
 }
 
+/// A programmable crash trigger for exhaustive crash-point enumeration:
+/// when the `at_event`-th persistence event (see
+/// [`Media::persistence_events`]) is about to execute, the media captures
+/// a [`CrashImage`] of the state *before* that event applies, resolving
+/// torn writes with `seed`. The run then continues normally; the harness
+/// collects the image with [`Media::take_crash_capture`] afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Zero-based persistence-event index to crash at. The image reflects
+    /// events `0..at_event` having executed; event `at_event` has not.
+    pub at_event: u64,
+    /// Torn-write resolution seed (same semantics as [`Media::crash`]).
+    pub seed: u64,
+}
+
 struct MediaInner {
     /// Bytes guaranteed to survive a crash (the persistence domain).
     durable: Vec<u8>,
@@ -84,6 +99,13 @@ struct MediaInner {
     /// Snapshots of flushed lines that were overwritten before a fence:
     /// their flushed content may still land on media. Applied in order.
     pending: Vec<(u64, [u8; CACHE_LINE])>,
+    /// Monotonic count of persistence events executed so far (every
+    /// PMem `flush` and `fence` call; `persist` counts as two).
+    events: u64,
+    /// Armed crash trigger, if any.
+    plan: Option<CrashPlan>,
+    /// Image captured by the armed plan.
+    capture: Option<CrashImage>,
 }
 
 /// The durable state extracted at a crash point. Rehydrate with
@@ -126,6 +148,9 @@ impl Media {
                 durable: vec![0u8; cfg.capacity],
                 lines: HashMap::new(),
                 pending: Vec::new(),
+                events: 0,
+                plan: None,
+                capture: None,
             }),
         }
     }
@@ -139,6 +164,9 @@ impl Media {
                 durable: image.bytes,
                 lines: HashMap::new(),
                 pending: Vec::new(),
+                events: 0,
+                plan: None,
+                capture: None,
             }),
         }
     }
@@ -278,6 +306,7 @@ impl Media {
             return;
         }
         let mut g = self.inner.write();
+        Self::note_event(&mut g);
         let first = Self::line_of(off);
         let last = Self::line_of(off + len - 1);
         let mut flushed_lines = 0u64;
@@ -303,6 +332,7 @@ impl Media {
             return;
         }
         let mut g = self.inner.write();
+        Self::note_event(&mut g);
         cost.charge(CostKind::Cpu, FENCE_NS);
         let pending = std::mem::take(&mut g.pending);
         for (line, data) in pending {
@@ -352,33 +382,79 @@ impl Media {
                 bytes: g.durable.clone(),
                 device: DeviceKind::FlashSsd,
             },
-            DeviceKind::Pmem => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut bytes = g.durable.clone();
-                for (line, data) in &g.pending {
-                    if rng.gen_bool(0.5) {
-                        let mut b = std::mem::take(&mut bytes);
-                        Self::apply_line(&mut b, *line, data);
-                        bytes = b;
-                    }
-                }
-                // Deterministic iteration order: sort lines.
-                let mut flushed: Vec<(&u64, &DirtyLine)> =
-                    g.lines.iter().filter(|(_, dl)| dl.flushed).collect();
-                flushed.sort_by_key(|(l, _)| **l);
-                for (line, dl) in flushed {
-                    if rng.gen_bool(0.5) {
-                        let mut b = std::mem::take(&mut bytes);
-                        Self::apply_line(&mut b, *line, &dl.data);
-                        bytes = b;
-                    }
-                }
-                CrashImage {
-                    bytes,
-                    device: DeviceKind::Pmem,
-                }
+            DeviceKind::Pmem => Self::pmem_image(&g, seed),
+        }
+    }
+
+    /// Torn-write crash image of PMem state `g`: durable bytes plus each
+    /// flushed-but-unfenced line (superseded pending snapshots first, in
+    /// write order) landing independently with probability ½.
+    fn pmem_image(g: &MediaInner, seed: u64) -> CrashImage {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bytes = g.durable.clone();
+        for (line, data) in &g.pending {
+            if rng.gen_bool(0.5) {
+                let mut b = std::mem::take(&mut bytes);
+                Self::apply_line(&mut b, *line, data);
+                bytes = b;
             }
         }
+        // Deterministic iteration order: sort lines.
+        let mut flushed: Vec<(&u64, &DirtyLine)> =
+            g.lines.iter().filter(|(_, dl)| dl.flushed).collect();
+        flushed.sort_by_key(|(l, _)| **l);
+        for (line, dl) in flushed {
+            if rng.gen_bool(0.5) {
+                let mut b = std::mem::take(&mut bytes);
+                Self::apply_line(&mut b, *line, &dl.data);
+                bytes = b;
+            }
+        }
+        CrashImage {
+            bytes,
+            device: DeviceKind::Pmem,
+        }
+    }
+
+    /// Count one persistence event; if an armed [`CrashPlan`] names this
+    /// index, capture the crash image *before* the event applies.
+    fn note_event(g: &mut MediaInner) {
+        if let Some(plan) = g.plan {
+            if g.events == plan.at_event && g.capture.is_none() {
+                g.capture = Some(Self::pmem_image(g, plan.seed));
+            }
+        }
+        g.events += 1;
+    }
+
+    /// Persistence events executed so far: every PMem [`Self::flush`] and
+    /// [`Self::fence`] call gets one monotonically increasing index
+    /// ([`Self::persist`] counts as two). The stream is deterministic for
+    /// a deterministic workload, which is what makes exhaustive
+    /// crash-point enumeration possible.
+    pub fn persistence_events(&self) -> u64 {
+        self.inner.read().events
+    }
+
+    /// Arm a [`CrashPlan`]: when persistence event `plan.at_event` is
+    /// about to execute, a crash image of the state before it is captured
+    /// (the run continues). Replaces any previous plan and discards any
+    /// previous capture.
+    pub fn arm_crash_plan(&self, plan: CrashPlan) {
+        let mut g = self.inner.write();
+        g.plan = Some(plan);
+        g.capture = None;
+    }
+
+    /// Remove the armed plan, keeping any capture already taken.
+    pub fn disarm_crash_plan(&self) {
+        self.inner.write().plan = None;
+    }
+
+    /// Take the image captured by an armed [`CrashPlan`], if the planned
+    /// event was reached.
+    pub fn take_crash_capture(&self) -> Option<CrashImage> {
+        self.inner.write().capture.take()
     }
 
     /// Read bytes as they would survive a crash *right now* assuming all
@@ -550,6 +626,131 @@ mod tests {
         let mut buf = [0u8; 3];
         m.read(10_000, &mut buf, &mut cost);
         assert_eq!(&buf, b"far");
+    }
+
+    #[test]
+    fn persistence_events_count_flush_and_fence() {
+        let m = pmem();
+        let mut cost = Cost::new();
+        assert_eq!(m.persistence_events(), 0);
+        m.write(0, b"x", &mut cost);
+        assert_eq!(m.persistence_events(), 0, "stores are not events");
+        m.flush(0, 1, &mut cost);
+        assert_eq!(m.persistence_events(), 1);
+        m.fence(&mut cost);
+        assert_eq!(m.persistence_events(), 2);
+        m.persist(64, 8, &mut cost);
+        assert_eq!(m.persistence_events(), 4, "persist = flush + fence");
+        // Non-PMem media never count events.
+        let d = Media::new(MediaConfig::dram(128));
+        d.write(0, b"x", &mut cost);
+        d.flush(0, 1, &mut cost);
+        d.fence(&mut cost);
+        assert_eq!(d.persistence_events(), 0);
+    }
+
+    #[test]
+    fn crash_plan_captures_state_before_event() {
+        // Events: 0 = flush("AA"), 1 = fence, 2 = flush("BB"), 3 = fence.
+        let run = |plan: Option<CrashPlan>| {
+            let m = pmem();
+            let mut cost = Cost::new();
+            if let Some(p) = plan {
+                m.arm_crash_plan(p);
+            }
+            m.write(0, b"AA", &mut cost);
+            m.persist(0, 2, &mut cost);
+            m.write(0, b"BB", &mut cost);
+            m.persist(0, 2, &mut cost);
+            m
+        };
+        // Crash before event 2 (second flush): only "AA" is durable.
+        let m = run(Some(CrashPlan {
+            at_event: 2,
+            seed: 1,
+        }));
+        let img = m.take_crash_capture().expect("event reached");
+        assert_eq!(&img.bytes()[0..2], b"AA");
+        // Crash before event 0: nothing durable yet.
+        let m = run(Some(CrashPlan {
+            at_event: 0,
+            seed: 1,
+        }));
+        let img = m.take_crash_capture().unwrap();
+        assert_eq!(&img.bytes()[0..2], &[0u8; 2]);
+        // Plan beyond the run: no capture, run unaffected.
+        let m = run(Some(CrashPlan {
+            at_event: 99,
+            seed: 1,
+        }));
+        assert!(m.take_crash_capture().is_none());
+        let mut d = [0u8; 2];
+        m.read_durable(0, &mut d);
+        assert_eq!(&d, b"BB");
+    }
+
+    #[test]
+    fn crash_plan_capture_matches_direct_crash() {
+        // Capturing at event k must equal crashing a twin run stopped
+        // right before event k, for the same seed.
+        let build_to = |stop_before: u64| {
+            let m = pmem();
+            let mut cost = Cost::new();
+            let ops: Vec<Box<dyn Fn(&Media, &mut Cost)>> = vec![
+                Box::new(|m, c| m.write(0, b"1111", c)),
+                Box::new(|m, c| m.flush(0, 4, c)), // event 0
+                Box::new(|m, c| m.write(64, b"2222", c)),
+                Box::new(|m, c| m.flush(64, 4, c)), // event 1
+                Box::new(|m, c| m.fence(c)),        // event 2
+            ];
+            for op in ops {
+                if m.persistence_events() == stop_before {
+                    break;
+                }
+                op(&m, &mut cost);
+            }
+            m
+        };
+        for k in 0..3u64 {
+            // Full run on a fresh armed media.
+            let armed = pmem();
+            armed.arm_crash_plan(CrashPlan {
+                at_event: k,
+                seed: 7,
+            });
+            let mut cost = Cost::new();
+            armed.write(0, b"1111", &mut cost);
+            armed.flush(0, 4, &mut cost);
+            armed.write(64, b"2222", &mut cost);
+            armed.flush(64, 4, &mut cost);
+            armed.fence(&mut cost);
+            let cap = armed.take_crash_capture().expect("reached");
+            let direct = build_to(k).crash(7);
+            assert_eq!(cap.bytes(), direct.bytes(), "event {k}");
+        }
+    }
+
+    #[test]
+    fn rearming_plan_discards_previous_capture() {
+        let m = pmem();
+        let mut cost = Cost::new();
+        m.arm_crash_plan(CrashPlan {
+            at_event: 0,
+            seed: 1,
+        });
+        m.write(0, b"AA", &mut cost);
+        m.persist(0, 2, &mut cost);
+        m.arm_crash_plan(CrashPlan {
+            at_event: 3,
+            seed: 1,
+        });
+        m.write(0, b"BB", &mut cost);
+        m.persist(0, 2, &mut cost); // events 2 (flush), 3 (fence)
+        let img = m.take_crash_capture().expect("second plan fired");
+        // Before event 3 the "BB" line is flushed-unfenced: seed decides.
+        let b = &img.bytes()[0..2];
+        assert!(b == b"AA" || b == b"BB");
+        assert!(m.take_crash_capture().is_none(), "capture is taken once");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! paper's Figs. 6/7/9/12/13 measure.
 
 pub mod cost;
+pub mod crashmc;
 pub mod failure;
 pub mod gpu;
 pub mod model;
@@ -33,6 +34,7 @@ pub mod report;
 pub mod trainer;
 
 pub use cost::{CloudCostModel, PsDeployment};
+pub use crashmc::{CrashMcConfig, RecoverySweepReport, SweepReport};
 pub use failure::FailureOutcome;
 pub use gpu::GpuModel;
 pub use network::NetModel;
