@@ -42,4 +42,10 @@ cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.j
 echo "==> failover/retry-overhead bench (smoke)"
 cargo run --release -p oe-bench --bin failover -- --smoke --out BENCH_failover.json
 
+echo "==> mid-epoch live-migration smoke"
+cargo test --release -q -p openembedding --test rebalance_e2e
+
+echo "==> skew-aware rebalancing bench (smoke)"
+cargo run --release -p oe-bench --bin rebalance -- --smoke --out BENCH_rebalance.json
+
 echo "CI OK"

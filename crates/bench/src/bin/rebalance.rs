@@ -1,0 +1,45 @@
+//! Skew-aware rebalancing bench: hot-key storm vs live shard drain,
+//! JSON artifact emitter.
+//!
+//! ```sh
+//! cargo run --release -p oe-bench --bin rebalance            # paper shape
+//! cargo run --release -p oe-bench --bin rebalance -- --smoke # CI shape
+//! cargo run --release -p oe-bench --bin rebalance -- --smoke --out BENCH_rebalance.json
+//! ```
+
+use oe_bench::rebalance::{print_report, run, RebalanceBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: rebalance [--smoke] [--out PATH]   (unknown arg: {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = if smoke {
+        RebalanceBenchConfig::smoke()
+    } else {
+        RebalanceBenchConfig::paper()
+    };
+    let report = run(&cfg);
+    print_report(&report);
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&path, json + "\n").expect("write bench artifact");
+        println!("wrote {path}");
+    }
+}

@@ -743,7 +743,6 @@ pub fn failover(sc: &Scenario) {
     crate::failover::print_report(&r);
 }
 
-/// Run everything.
 /// crashmc — exhaustive crash-point enumeration coverage.
 pub fn crashmc(sc: &Scenario) {
     hr("crashmc — crash-point enumeration of the persistence protocol");
@@ -756,6 +755,20 @@ pub fn crashmc(sc: &Scenario) {
     crate::crashmc::print_report(&r);
 }
 
+/// rebalance — hot-key storm vs telemetry-driven live shard drain
+/// (see [`crate::rebalance`]).
+pub fn rebalance(sc: &Scenario) {
+    hr("rebalance — skew-aware placement under a hot-key storm");
+    let cfg = if sc.batch_size < 1024 {
+        crate::rebalance::RebalanceBenchConfig::smoke()
+    } else {
+        crate::rebalance::RebalanceBenchConfig::paper()
+    };
+    let r = crate::rebalance::run(&cfg);
+    crate::rebalance::print_report(&r);
+}
+
+/// Run everything.
 pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     table1(sc);
     table2(sc);
@@ -777,4 +790,5 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     pullpush(sc);
     failover(sc);
     crashmc(sc);
+    rebalance(sc);
 }

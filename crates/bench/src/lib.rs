@@ -19,6 +19,10 @@
 //!   event of a reference run is crashed, recovered, and checked
 //!   against the durability invariants, emitted as `BENCH_crashmc.json`
 //!   by the `crashmc` binary.
+//! - [`rebalance`] — skew-aware placement bench: a zipf hot-key storm
+//!   melts one shard; the telemetry-driven rebalancer drains it live
+//!   and restores tail latency, emitted as `BENCH_rebalance.json` by
+//!   the `rebalance` binary.
 //!
 //! Run `cargo run --release -p oe-bench --bin figures -- all` (or a
 //! single id, or `--quick` for a fast pass).
@@ -27,9 +31,11 @@ pub mod crashmc;
 pub mod failover;
 pub mod figures;
 pub mod pullpush;
+pub mod rebalance;
 pub mod scenario;
 
 pub use crashmc::{CrashMcBenchConfig, CrashMcReport};
 pub use failover::{FailoverConfig, FailoverReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
+pub use rebalance::{RebalanceBenchConfig, RebalanceReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};

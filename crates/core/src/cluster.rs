@@ -2,11 +2,49 @@
 //! of PS nodes by hashing the entry id (paper §IV). The cluster scatters
 //! pull/push bursts to the owning nodes and gathers responses; the burst
 //! completion time is the max over nodes (they serve in parallel).
+//!
+//! Scatter goes through [`crate::plan`] bucketing, so multi-node bursts
+//! get the same duplicate-key coalescing as a node's internal shard
+//! lanes: pulls send each distinct key to its owner once and fan the
+//! payload out to every occurrence client-side; pushes stay
+//! occurrence-preserving on the wire (whether duplicate gradients may
+//! be summed is the *owner's* decision, via
+//! [`crate::OptimizerKind::coalescible`] — the cluster must not pre-sum
+//! for stateful optimizers).
+//!
+//! For skew-aware placement (epoch-versioned routing overrides, live
+//! migration, rebalancing) layer `oe-cluster`'s `PlacedCluster` on top;
+//! it reuses [`hash_node_of`] as its fallback and [`merge_node_parallel`]
+//! for burst pricing.
 
 use crate::engine::{MaintenanceReport, PsEngine};
+use crate::plan::{ShardBuckets, ShardPlan};
 use crate::stats::StatsSnapshot;
 use crate::{BatchId, Key};
 use oe_simdevice::{Cost, CostKind};
+
+/// The static hash placement: which of `nodes` owns `key` when no
+/// placement override applies. Salted so node routing decorrelates from
+/// the in-node shard hash (`splitmix64(key)`).
+#[inline]
+pub fn hash_node_of(key: Key, nodes: usize) -> usize {
+    (crate::init::splitmix64(key ^ 0xC1u64) % nodes as u64) as usize
+}
+
+/// Merge per-node burst costs for nodes serving in parallel: the
+/// elementwise max of device/serialized charges (each node's hardware
+/// works concurrently) and the sum of CPU/NET (the client still pays
+/// per-request work). A simple, conservative merge for multi-node
+/// bursts.
+pub fn merge_node_parallel(costs: &[Cost], out: &mut Cost) {
+    for kind in CostKind::ALL {
+        let ns = match kind {
+            CostKind::Cpu | CostKind::Net => costs.iter().map(|c| c.ns(kind)).sum(),
+            _ => costs.iter().map(|c| c.ns(kind)).max().unwrap_or(0),
+        };
+        out.charge_ns_only(kind, ns);
+    }
+}
 
 /// A cluster of PS engines of the same type.
 pub struct Cluster<E: PsEngine> {
@@ -25,9 +63,10 @@ impl<E: PsEngine> Cluster<E> {
         self.nodes.len()
     }
 
-    /// True if the cluster is a single node.
+    /// True if the cluster has no nodes (never, per the constructor
+    /// assert, but the `len`/`is_empty` contract must hold regardless).
     pub fn is_empty(&self) -> bool {
-        false
+        self.nodes.is_empty()
     }
 
     /// Access a node (tests / stats).
@@ -38,28 +77,12 @@ impl<E: PsEngine> Cluster<E> {
     /// Which node owns `key`.
     #[inline]
     pub fn node_of(&self, key: Key) -> usize {
-        (crate::init::splitmix64(key ^ 0xC1u64) % self.nodes.len() as u64) as usize
+        hash_node_of(key, self.nodes.len())
     }
 
-    fn scatter(&self, keys: &[Key]) -> Vec<Vec<(usize, Key)>> {
-        let mut per: Vec<Vec<(usize, Key)>> = vec![Vec::new(); self.nodes.len()];
-        for (pos, &k) in keys.iter().enumerate() {
-            per[self.node_of(k)].push((pos, k));
-        }
-        per
-    }
-
-    /// Take the elementwise max of device/serialized charges (parallel
-    /// nodes) and the sum of CPU/NET (the client still pays per-request
-    /// work). A simple, conservative merge for multi-node bursts.
-    fn merge_parallel(costs: Vec<Cost>, out: &mut Cost) {
-        for kind in CostKind::ALL {
-            let ns = match kind {
-                CostKind::Cpu | CostKind::Net => costs.iter().map(|c| c.ns(kind)).sum(),
-                _ => costs.iter().map(|c| c.ns(kind)).max().unwrap_or(0),
-            };
-            out.charge_ns_only(kind, ns);
-        }
+    /// Bucket a burst by owning node and coalesce duplicates per node.
+    fn scatter(&self, keys: &[Key]) -> ShardPlan {
+        ShardBuckets::bucket(keys, self.nodes.len(), |k| self.node_of(k)).coalesce()
     }
 }
 
@@ -76,23 +99,25 @@ impl<E: PsEngine> PsEngine for Cluster<E> {
         let dim = self.dim();
         let start = out.len();
         out.resize(start + keys.len() * dim, 0.0);
-        let mut node_costs = Vec::with_capacity(self.nodes.len());
-        for (ni, group) in self.scatter(keys).into_iter().enumerate() {
-            if group.is_empty() {
-                node_costs.push(Cost::new());
-                continue;
-            }
-            let node_keys: Vec<Key> = group.iter().map(|&(_, k)| k).collect();
-            let mut node_out = Vec::with_capacity(node_keys.len() * dim);
+        let plan = self.scatter(keys);
+        let mut node_costs = Vec::with_capacity(plan.groups.len());
+        for g in &plan.groups {
+            // Pull each distinct key once and fan the payload out to all
+            // of its occurrence positions — duplicates never cross the
+            // node boundary.
+            let mut node_out = Vec::with_capacity(g.uniques.len() * dim);
             let mut c = Cost::new();
-            self.nodes[ni].pull(&node_keys, batch, &mut node_out, &mut c);
-            for (gi, &(pos, _)) in group.iter().enumerate() {
-                let dst = start + pos * dim;
-                out[dst..dst + dim].copy_from_slice(&node_out[gi * dim..(gi + 1) * dim]);
+            self.nodes[g.shard].pull(&g.uniques, batch, &mut node_out, &mut c);
+            for (ui, occ) in g.occs.iter().enumerate() {
+                let src = ui * dim;
+                for &pos in occ {
+                    let dst = start + pos as usize * dim;
+                    out[dst..dst + dim].copy_from_slice(&node_out[src..src + dim]);
+                }
             }
             node_costs.push(c);
         }
-        Self::merge_parallel(node_costs, cost);
+        merge_node_parallel(&node_costs, cost);
     }
 
     fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
@@ -105,28 +130,31 @@ impl<E: PsEngine> PsEngine for Cluster<E> {
             merged.ckpt_commits += r.ckpt_commits;
             costs.push(r.cost);
         }
-        Self::merge_parallel(costs, &mut merged.cost);
+        merge_node_parallel(&costs, &mut merged.cost);
         merged
     }
 
     fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
         let dim = self.dim();
-        let mut node_costs = Vec::with_capacity(self.nodes.len());
-        for (ni, group) in self.scatter(keys).into_iter().enumerate() {
-            if group.is_empty() {
-                node_costs.push(Cost::new());
-                continue;
-            }
-            let node_keys: Vec<Key> = group.iter().map(|&(_, k)| k).collect();
-            let mut node_grads = Vec::with_capacity(node_keys.len() * dim);
-            for &(pos, _) in &group {
-                node_grads.extend_from_slice(&grads[pos * dim..(pos + 1) * dim]);
+        let plan = self.scatter(keys);
+        let mut node_costs = Vec::with_capacity(plan.groups.len());
+        for g in &plan.groups {
+            // Occurrence-preserving: rebuild this node's slice of the
+            // request in original order. The node's own plan coalesces
+            // duplicate gradients iff its optimizer allows it.
+            let occ = g.occurrences_in_request_order();
+            let mut node_keys = Vec::with_capacity(occ.len());
+            let mut node_grads = Vec::with_capacity(occ.len() * dim);
+            for &(pos, k) in &occ {
+                node_keys.push(k);
+                let p = pos as usize * dim;
+                node_grads.extend_from_slice(&grads[p..p + dim]);
             }
             let mut c = Cost::new();
-            self.nodes[ni].push(&node_keys, &node_grads, batch, &mut c);
+            self.nodes[g.shard].push(&node_keys, &node_grads, batch, &mut c);
             node_costs.push(c);
         }
-        Self::merge_parallel(node_costs, cost);
+        merge_node_parallel(&node_costs, cost);
     }
 
     fn request_checkpoint(&self, batch: BatchId) -> Cost {
@@ -136,7 +164,7 @@ impl<E: PsEngine> PsEngine for Cluster<E> {
             .iter()
             .map(|n| n.request_checkpoint(batch))
             .collect();
-        Self::merge_parallel(costs, &mut total);
+        merge_node_parallel(&costs, &mut total);
         total
     }
 
@@ -192,6 +220,13 @@ mod tests {
     }
 
     #[test]
+    fn cluster_is_never_empty() {
+        let c = cluster(3);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
     fn scatter_gather_preserves_order() {
         let c3 = cluster(3);
         let c1 = cluster(1);
@@ -204,6 +239,53 @@ mod tests {
         // Same deterministic init regardless of cluster size and order.
         assert_eq!(out3, out1);
         assert_eq!(out3.len(), 40 * 4);
+    }
+
+    #[test]
+    fn scatter_gather_preserves_order_with_duplicate_keys() {
+        // A hot key repeated across the request must come back at every
+        // occurrence position, identically to the single-node gather.
+        let keys: Vec<u64> = vec![7, 3, 7, 11, 3, 7, 99, 11, 7, 3];
+        let c3 = cluster(3);
+        let c1 = cluster(1);
+        let (mut out3, mut out1, mut cost) = (Vec::new(), Vec::new(), Cost::new());
+        c3.pull(&keys, 1, &mut out3, &mut cost);
+        c1.pull(&keys, 1, &mut out1, &mut cost);
+        assert_eq!(out3, out1);
+        assert_eq!(out3.len(), keys.len() * 4);
+        // Every occurrence of key 7 carries the same payload.
+        let w7 = c3.read_weights(7).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            if k == 7 {
+                assert_eq!(&out3[i * 4..i * 4 + 4], &w7[..]);
+            }
+        }
+        // Dedup actually happened: each node's pull counter counts
+        // distinct keys per request, not occurrences.
+        let pulls: u64 = (0..3).map(|i| c3.node(i).stats().pulls).sum();
+        assert_eq!(pulls, 4, "10 occurrences coalesce to 4 uniques");
+    }
+
+    #[test]
+    fn duplicate_push_matches_single_node() {
+        // SGD is linear in the gradient; duplicate pushes must apply
+        // per occurrence (or coalesce to an identical sum) on both
+        // cluster shapes.
+        let keys: Vec<u64> = vec![5, 9, 5, 5, 9, 21];
+        let run = |c: &Cluster<PsNode>| {
+            let (mut out, mut cost) = (Vec::new(), Cost::new());
+            c.pull(&keys, 1, &mut out, &mut cost);
+            c.end_pull_phase(1);
+            let mut grads = vec![0.0f32; keys.len() * 4];
+            for (i, g) in grads.iter_mut().enumerate() {
+                *g = (i % 4) as f32 * 0.5 + 1.0;
+            }
+            c.push(&keys, &grads, 1, &mut cost);
+            keys.iter()
+                .map(|&k| c.read_weights(k).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(&cluster(4)), run(&cluster(1)));
     }
 
     #[test]
@@ -242,6 +324,26 @@ mod tests {
     }
 
     #[test]
+    fn cluster_checkpoint_zero_when_one_node_never_checkpointed() {
+        // Checkpoint node 0 directly; node 1 never commits anything, so
+        // the *cluster* commit point must stay 0 — a recovery to any
+        // batch > 0 would lose node 1's uncommitted state boundary.
+        let c = cluster(2);
+        let keys: Vec<u64> = (0..64).filter(|&k| c.node_of(k) == 0).collect();
+        assert!(!keys.is_empty());
+        let (mut out, mut cost) = (Vec::new(), Cost::new());
+        c.pull(&keys, 1, &mut out, &mut cost);
+        c.end_pull_phase(1);
+        c.node(0).request_checkpoint(1);
+        let mut out2 = Vec::new();
+        c.pull(&keys, 2, &mut out2, &mut cost);
+        c.end_pull_phase(2);
+        assert!(c.node(0).committed_checkpoint() >= 1, "node 0 committed");
+        assert_eq!(c.node(1).committed_checkpoint(), 0, "node 1 never did");
+        assert_eq!(c.committed_checkpoint(), 0, "cluster min is 0");
+    }
+
+    #[test]
     fn parallel_cost_merge_takes_max_of_device_time() {
         let mut costs = vec![Cost::new(), Cost::new()];
         costs[0].charge(CostKind::PmemWrite, 100);
@@ -249,7 +351,7 @@ mod tests {
         costs[0].charge(CostKind::Cpu, 10);
         costs[1].charge(CostKind::Cpu, 20);
         let mut out = Cost::new();
-        Cluster::<PsNode>::merge_parallel(costs, &mut out);
+        merge_node_parallel(&costs, &mut out);
         assert_eq!(out.ns(CostKind::PmemWrite), 300);
         assert_eq!(out.ns(CostKind::Cpu), 30);
     }

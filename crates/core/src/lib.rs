@@ -37,8 +37,8 @@ pub mod plan;
 pub mod recovery;
 pub mod stats;
 
-pub use checkpoint::CheckpointScheduler;
-pub use cluster::Cluster;
+pub use checkpoint::{BatchCadence, CheckpointScheduler};
+pub use cluster::{hash_node_of, merge_node_parallel, Cluster};
 pub use config::{NodeConfig, CACHE_ENTRY_OVERHEAD_BYTES};
 pub use engine::{MaintenanceReport, PsEngine};
 pub use node::PsNode;

@@ -37,6 +37,24 @@ pub struct ShardGroup {
     pub occs: Vec<Vec<u32>>,
 }
 
+impl ShardGroup {
+    /// Flatten the group back to its `(position, key)` occurrence list
+    /// in original request order — the inverse of coalescing. Used when
+    /// a router buckets a request but must keep per-occurrence payloads
+    /// on the wire (e.g. gradient pushes whose coalescibility only the
+    /// owning node's optimizer can decide).
+    pub fn occurrences_in_request_order(&self) -> Vec<(u32, Key)> {
+        let mut v: Vec<(u32, Key)> = Vec::with_capacity(self.occs.iter().map(Vec::len).sum());
+        for (ui, occ) in self.occs.iter().enumerate() {
+            for &pos in occ {
+                v.push((pos, self.uniques[ui]));
+            }
+        }
+        v.sort_unstable_by_key(|&(pos, _)| pos);
+        v
+    }
+}
+
 /// A batched request bucketed by shard and coalesced per group.
 #[derive(Debug)]
 pub struct ShardPlan {
@@ -173,6 +191,27 @@ mod tests {
         assert_eq!(g1.uniques, vec![7]);
         assert_eq!(g1.occs, vec![vec![1, 5]]);
         assert!((p.dedup_ratio() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occurrences_round_trip_through_coalescing() {
+        let keys = [4u64, 7, 2, 4, 2, 7, 4];
+        let p = plan(&keys, 2);
+        // Group 0 holds positions {0,2,3,4,6}, group 1 holds {1,5};
+        // flattening each group reproduces the original (pos, key)
+        // pairs in request order.
+        let g0 = p.groups[0].occurrences_in_request_order();
+        assert_eq!(g0, vec![(0, 4), (2, 2), (3, 4), (4, 2), (6, 4)]);
+        let g1 = p.groups[1].occurrences_in_request_order();
+        assert_eq!(g1, vec![(1, 7), (5, 7)]);
+        let mut all: Vec<(u32, u64)> = p
+            .groups
+            .iter()
+            .flat_map(|g| g.occurrences_in_request_order())
+            .collect();
+        all.sort_unstable_by_key(|&(pos, _)| pos);
+        let rebuilt: Vec<u64> = all.iter().map(|&(_, k)| k).collect();
+        assert_eq!(rebuilt, keys);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn skewed_batch(seed: u64, len: usize, hot: u64, cold: u64) -> Vec<u64> {
     (0..len)
         .map(|i| {
             let r = mix(seed ^ (i as u64).wrapping_mul(0x9E37));
-            if r % 2 == 0 {
+            if r.is_multiple_of(2) {
                 r % hot
             } else {
                 hot + (r / 2) % cold

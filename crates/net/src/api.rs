@@ -236,9 +236,7 @@ mod tests {
         let mut out = Vec::new();
         client.pull_batch(&keys, 1, &mut out, &mut cost).unwrap();
         client.flush_batch(1).unwrap();
-        client
-            .push_batch(&keys, &vec![0.25; 12], 1, &mut cost)
-            .unwrap();
+        client.push_batch(&keys, &[0.25; 12], 1, &mut cost).unwrap();
         client.weights_of(2).unwrap().expect("key known")
     }
 

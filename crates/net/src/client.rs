@@ -69,6 +69,11 @@ pub struct RemotePs {
     cfg: NetConfig,
     client_id: u32,
     seq: AtomicU64,
+    /// Placement epoch this client routes under; stamped on every
+    /// pull/push so the server can fence bursts routed by a
+    /// pre-migration table. Ratchets up via
+    /// [`RemotePs::set_placement_epoch`].
+    placement_epoch: AtomicU64,
     dim: usize,
     name: &'static str,
     pending_failover: Mutex<Option<FailoverEvent>>,
@@ -119,6 +124,7 @@ impl RemotePs {
             cfg,
             client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
             seq: AtomicU64::new(1),
+            placement_epoch: AtomicU64::new(0),
             dim: 0,
             name: "",
             pending_failover: Mutex::new(None),
@@ -160,6 +166,28 @@ impl RemotePs {
     /// This client's id in request idempotence tokens.
     pub fn client_id(&self) -> u32 {
         self.client_id
+    }
+
+    /// The placement epoch stamped on this client's pull/push bursts.
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Announce a placement cutover: ratchet the local epoch and push a
+    /// [`Request::PlacementUpdate`] to the server so it starts fencing
+    /// bursts still routed under the pre-migration table. Both sides
+    /// ratchet upward (`fetch_max`), so a delayed or replayed update for
+    /// an older epoch can never roll the fence back. The rebalancer
+    /// calls this once per client after the cutover batch completes.
+    pub fn set_placement_epoch(&self, epoch: u64) -> Result<(), Error> {
+        self.placement_epoch.fetch_max(epoch, Ordering::Relaxed);
+        let mut scratch = Cost::new();
+        match self.call_result(Request::PlacementUpdate { epoch }, &mut scratch)? {
+            Response::Ack { .. } => Ok(()),
+            other => Err(Error::rejected(format!(
+                "placement update: unexpected response {other:?}"
+            ))),
+        }
     }
 
     /// Promote the next standby. On success the current transport is
@@ -355,6 +383,7 @@ impl PsEngine for RemotePs {
     fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
         let resp = self.call(
             Request::Pull {
+                epoch: self.placement_epoch.load(Ordering::Relaxed),
                 batch,
                 keys: keys.to_vec(),
             },
@@ -392,6 +421,7 @@ impl PsEngine for RemotePs {
     fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
         let resp = self.call(
             Request::Push {
+                epoch: self.placement_epoch.load(Ordering::Relaxed),
                 batch,
                 keys: keys.to_vec(),
                 grads: grads.to_vec(),
@@ -456,6 +486,41 @@ impl PsEngine for RemotePs {
             other => panic!("metrics: unexpected {other:?}"),
         }
     }
+
+    fn export_entry(&self, key: Key, cost: &mut Cost) -> Option<(BatchId, Vec<f32>)> {
+        match self.call(Request::ExportEntry { key }, cost) {
+            Response::Entry(e) => e,
+            other => panic!("export_entry: unexpected {other:?}"),
+        }
+    }
+
+    fn import_entry(&self, key: Key, version: BatchId, payload: &[f32], cost: &mut Cost) -> bool {
+        let resp = self.call(
+            Request::ImportEntry {
+                key,
+                version,
+                payload: payload.to_vec(),
+            },
+            cost,
+        );
+        match resp {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                true
+            }
+            other => panic!("import_entry: unexpected {other:?}"),
+        }
+    }
+
+    fn discard_entry(&self, key: Key, cost: &mut Cost) -> bool {
+        match self.call(Request::DiscardEntry { key }, cost) {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                true
+            }
+            other => panic!("discard_entry: unexpected {other:?}"),
+        }
+    }
 }
 
 impl PsClient for RemotePs {
@@ -476,6 +541,7 @@ impl PsClient for RemotePs {
     ) -> Result<(), Error> {
         match self.call_result(
             Request::Pull {
+                epoch: self.placement_epoch.load(Ordering::Relaxed),
                 batch,
                 keys: keys.to_vec(),
             },
@@ -520,6 +586,7 @@ impl PsClient for RemotePs {
     ) -> Result<(), Error> {
         match self.call_result(
             Request::Push {
+                epoch: self.placement_epoch.load(Ordering::Relaxed),
                 batch,
                 keys: keys.to_vec(),
                 grads: grads.to_vec(),
@@ -668,6 +735,66 @@ mod tests {
     }
 
     #[test]
+    fn stale_placement_epoch_fences_bursts_until_the_client_catches_up() {
+        let (remote, _h) = remote_node();
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        remote.pull_batch(&[1], 1, &mut out, &mut cost).unwrap();
+        remote.flush_batch(1).unwrap();
+        remote.push_batch(&[1], &[0.1; 4], 1, &mut cost).unwrap();
+
+        // The server learns of a cutover this client has not seen yet:
+        // its epoch-0 bursts must bounce instead of mutating shards the
+        // placement table no longer routes to it.
+        let mut scratch = Cost::new();
+        remote
+            .call_result(Request::PlacementUpdate { epoch: 3 }, &mut scratch)
+            .unwrap();
+        let err = remote.pull_batch(&[1], 2, &mut out, &mut cost).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Rejected);
+        assert!(err.to_string().contains("placement epoch"), "{err}");
+
+        // set_placement_epoch ratchets both sides and bursts flow again.
+        remote.set_placement_epoch(3).unwrap();
+        assert_eq!(remote.placement_epoch(), 3);
+        out.clear();
+        remote.pull_batch(&[1], 2, &mut out, &mut cost).unwrap();
+        remote.flush_batch(2).unwrap();
+
+        // A delayed update for an older epoch never rolls the fence back.
+        remote.set_placement_epoch(1).unwrap();
+        assert_eq!(remote.placement_epoch(), 3);
+        out.clear();
+        remote.pull_batch(&[1], 3, &mut out, &mut cost).unwrap();
+    }
+
+    #[test]
+    fn migration_rpcs_round_trip_through_the_engine_facade() {
+        let (remote, _h) = remote_node();
+        let keys = [42u64];
+        let mut out = Vec::new();
+        let mut cost = Cost::new();
+        remote.pull(&keys, 1, &mut out, &mut cost);
+        remote.end_pull_phase(1);
+        remote.push(&keys, &[0.25; 4], 1, &mut cost);
+
+        let (version, payload) = remote
+            .export_entry(42, &mut cost)
+            .expect("materialized entry exports");
+        assert!(payload.len() >= 4, "weights plus optimizer state");
+        assert_eq!(remote.export_entry(999, &mut cost), None);
+
+        assert!(remote.discard_entry(42, &mut cost));
+        assert_eq!(remote.read_weights(42), None, "source forgot the key");
+
+        assert!(remote.import_entry(42, version, &payload, &mut cost));
+        assert_eq!(
+            remote.read_weights(42).expect("entry restored")[..],
+            payload[..4]
+        );
+    }
+
+    #[test]
     fn metrics_text_travels_over_the_wire() {
         let (remote, _h) = remote_node();
         let mut out = Vec::new();
@@ -706,7 +833,7 @@ mod tests {
             assert_eq!(out.len(), 32);
             remote.flush_batch(b).expect("flush survives");
             remote
-                .push_batch(&keys, &vec![0.1; 32], b, &mut cost)
+                .push_batch(&keys, &[0.1; 32], b, &mut cost)
                 .expect("push survives");
         }
         let snap = remote.registry().snapshot();

@@ -39,9 +39,11 @@ use oe_simdevice::Cost;
 
 /// Frame magic ("OE").
 pub const MAGIC: u16 = 0x4F45;
-/// Wire protocol version (2: `(client, seq)` idempotence token +
-/// FNV-1a 64 frame checksum in the header).
-pub const VERSION: u8 = 2;
+/// Wire protocol version (3: v2's `(client, seq)` idempotence token and
+/// FNV-1a 64 frame checksum, plus the placement epoch on pull/push and
+/// the placement/migration message family — `PlacementUpdate`,
+/// `ExportEntry`/`ImportEntry`/`DiscardEntry`).
+pub const VERSION: u8 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 28;
 
@@ -71,6 +73,10 @@ pub enum Frame {
 pub enum Request {
     /// Embedding lookup burst.
     Pull {
+        /// Placement epoch the client routed this burst under. The
+        /// server rejects epochs older than its own (the burst may be
+        /// aimed at keys that migrated away); 0 = static placement.
+        epoch: u64,
         /// Batch about to train.
         batch: BatchId,
         /// Keys to fetch.
@@ -78,6 +84,8 @@ pub enum Request {
     },
     /// Gradient burst (pre-aggregated per key).
     Push {
+        /// Placement epoch the client routed this burst under.
+        epoch: u64,
         /// Batch that produced the gradients.
         batch: BatchId,
         /// Updated keys.
@@ -123,14 +131,46 @@ pub enum Request {
         /// Highest fenced-off sequence number (inclusive).
         floor: u64,
     },
+    /// Placement-epoch fence: the rebalancer announces that routing
+    /// epoch `epoch` is now current. The server ratchets its epoch up
+    /// (never down — a replayed stale update is a no-op) and from then
+    /// on rejects pull/push bursts routed under an older epoch, so a
+    /// client that missed a migration cutover cannot read or write keys
+    /// that have moved away.
+    PlacementUpdate {
+        /// New placement epoch.
+        epoch: u64,
+    },
+    /// Read one key's *full* entry — version plus weights-and-optimizer
+    /// payload — for migration seeding (`PsEngine::export_entry`).
+    ExportEntry {
+        /// Key to export.
+        key: Key,
+    },
+    /// Install a full entry exported from another node
+    /// (`PsEngine::import_entry`), replacing any existing entry.
+    ImportEntry {
+        /// Key to install.
+        key: Key,
+        /// Entry version (batch id) captured at export.
+        version: BatchId,
+        /// Full payload: weights + optimizer state.
+        payload: Vec<f32>,
+    },
+    /// Forget a key entirely — migration cutover on the source side
+    /// (`PsEngine::discard_entry`).
+    DiscardEntry {
+        /// Key to discard.
+        key: Key,
+    },
 }
 
 impl Request {
     /// Whether executing this request mutates server state — only
     /// mutating requests enter the replay cache; reads are naturally
-    /// idempotent. `SeqFence` mutates only replay bookkeeping and is
-    /// idempotent by construction (floors only ratchet up), so it
-    /// bypasses the cache too.
+    /// idempotent. `SeqFence` and `PlacementUpdate` mutate only fencing
+    /// bookkeeping and are idempotent by construction (both only
+    /// ratchet up), so they bypass the cache too.
     pub fn is_mutating(&self) -> bool {
         matches!(
             self,
@@ -138,6 +178,8 @@ impl Request {
                 | Request::Push { .. }
                 | Request::EndPullPhase { .. }
                 | Request::Checkpoint { .. }
+                | Request::ImportEntry { .. }
+                | Request::DiscardEntry { .. }
         )
     }
 }
@@ -186,6 +228,9 @@ pub enum Response {
     },
     /// Rendered telemetry text.
     Metrics(String),
+    /// A full entry (version + weights-and-optimizer payload), or
+    /// `None` if the key has no entry. Reply to `ExportEntry`.
+    Entry(Option<(BatchId, Vec<f32>)>),
     /// The server could not serve the request (e.g. an undecodable
     /// frame). Carrying the structured reason back keeps the client
     /// from blocking forever on a dropped frame and lets it classify
@@ -318,6 +363,10 @@ impl Frame {
                 Request::Hello => 0x09,
                 Request::Metrics => 0x0A,
                 Request::SeqFence { .. } => 0x0B,
+                Request::PlacementUpdate { .. } => 0x0C,
+                Request::ExportEntry { .. } => 0x0D,
+                Request::ImportEntry { .. } => 0x0E,
+                Request::DiscardEntry { .. } => 0x0F,
             },
             Frame::Response(r) => match r {
                 Response::Weights { .. } => 0x81,
@@ -329,6 +378,7 @@ impl Frame {
                 Response::Count(_) => 0x87,
                 Response::HelloOk { .. } => 0x88,
                 Response::Metrics(_) => 0x89,
+                Response::Entry(_) => 0x8A,
                 Response::Error { .. } => 0x8F,
             },
         }
@@ -337,11 +387,18 @@ impl Frame {
     fn encode_body(&self, body: &mut BytesMut) {
         match self {
             Frame::Request(r) => match r {
-                Request::Pull { batch, keys } => {
+                Request::Pull { epoch, batch, keys } => {
+                    body.put_u64_le(*epoch);
                     body.put_u64_le(*batch);
                     put_u64s(body, keys);
                 }
-                Request::Push { batch, keys, grads } => {
+                Request::Push {
+                    epoch,
+                    batch,
+                    keys,
+                    grads,
+                } => {
+                    body.put_u64_le(*epoch);
                     body.put_u64_le(*batch);
                     put_u64s(body, keys);
                     put_f32s(body, grads);
@@ -351,6 +408,19 @@ impl Frame {
                 }
                 Request::ReadWeights { key } => body.put_u64_le(*key),
                 Request::SeqFence { floor } => body.put_u64_le(*floor),
+                Request::PlacementUpdate { epoch } => body.put_u64_le(*epoch),
+                Request::ExportEntry { key } | Request::DiscardEntry { key } => {
+                    body.put_u64_le(*key)
+                }
+                Request::ImportEntry {
+                    key,
+                    version,
+                    payload,
+                } => {
+                    body.put_u64_le(*key);
+                    body.put_u64_le(*version);
+                    put_f32s(body, payload);
+                }
                 Request::Committed
                 | Request::Stats
                 | Request::NumKeys
@@ -404,6 +474,14 @@ impl Frame {
                     body.put_slice(name.as_bytes());
                 }
                 Response::Metrics(text) => put_str(body, text),
+                Response::Entry(e) => match e {
+                    Some((version, payload)) => {
+                        body.put_u8(1);
+                        body.put_u64_le(*version);
+                        put_f32s(body, payload);
+                    }
+                    None => body.put_u8(0),
+                },
                 Response::Error { kind, message } => {
                     body.put_u8(kind.code());
                     put_str(body, message);
@@ -415,10 +493,12 @@ impl Frame {
     fn decode_body(msg_type: u8, body: &mut Bytes) -> Result<Frame, Error> {
         let frame = match msg_type {
             0x01 => Frame::Request(Request::Pull {
+                epoch: get_u64(body)?,
                 batch: get_u64(body)?,
                 keys: get_u64s(body)?,
             }),
             0x02 => Frame::Request(Request::Push {
+                epoch: get_u64(body)?,
                 batch: get_u64(body)?,
                 keys: get_u64s(body)?,
                 grads: get_f32s(body)?,
@@ -439,6 +519,20 @@ impl Frame {
             0x0A => Frame::Request(Request::Metrics),
             0x0B => Frame::Request(Request::SeqFence {
                 floor: get_u64(body)?,
+            }),
+            0x0C => Frame::Request(Request::PlacementUpdate {
+                epoch: get_u64(body)?,
+            }),
+            0x0D => Frame::Request(Request::ExportEntry {
+                key: get_u64(body)?,
+            }),
+            0x0E => Frame::Request(Request::ImportEntry {
+                key: get_u64(body)?,
+                version: get_u64(body)?,
+                payload: get_f32s(body)?,
+            }),
+            0x0F => Frame::Request(Request::DiscardEntry {
+                key: get_u64(body)?,
             }),
             0x81 => Frame::Response(Response::Weights {
                 weights: get_f32s(body)?,
@@ -499,6 +593,17 @@ impl Frame {
                 Frame::Response(Response::HelloOk { dim, name })
             }
             0x89 => Frame::Response(Response::Metrics(get_str(body)?)),
+            0x8A => {
+                if body.remaining() < 1 {
+                    return Err(truncated());
+                }
+                let present = body.get_u8() == 1;
+                Frame::Response(Response::Entry(if present {
+                    Some((get_u64(body)?, get_f32s(body)?))
+                } else {
+                    None
+                }))
+            }
             0x8F => {
                 if body.remaining() < 1 {
                     return Err(truncated());
@@ -614,10 +719,12 @@ mod tests {
     #[test]
     fn request_roundtrips() {
         roundtrip(Frame::Request(Request::Pull {
+            epoch: 4,
             batch: 7,
             keys: vec![1, 2, u64::MAX],
         }));
         roundtrip(Frame::Request(Request::Push {
+            epoch: u64::MAX,
             batch: 9,
             keys: vec![3],
             grads: vec![0.5, -1.25, f32::MIN_POSITIVE, 0.0],
@@ -631,6 +738,29 @@ mod tests {
         roundtrip(Frame::Request(Request::Hello));
         roundtrip(Frame::Request(Request::Metrics));
         roundtrip(Frame::Request(Request::SeqFence { floor: u64::MAX }));
+        roundtrip(Frame::Request(Request::PlacementUpdate { epoch: 3 }));
+        roundtrip(Frame::Request(Request::ExportEntry { key: 12 }));
+        roundtrip(Frame::Request(Request::ImportEntry {
+            key: 12,
+            version: 40,
+            payload: vec![1.5, -0.25, 0.0, 9.75],
+        }));
+        roundtrip(Frame::Request(Request::DiscardEntry { key: 12 }));
+    }
+
+    #[test]
+    fn migration_family_cacheability() {
+        // Import/discard mutate entry state → replay-cached; export is a
+        // read and the epoch fence ratchets idempotently → neither cached.
+        assert!(Request::ImportEntry {
+            key: 1,
+            version: 0,
+            payload: vec![]
+        }
+        .is_mutating());
+        assert!(Request::DiscardEntry { key: 1 }.is_mutating());
+        assert!(!Request::ExportEntry { key: 1 }.is_mutating());
+        assert!(!Request::PlacementUpdate { epoch: 9 }.is_mutating());
     }
 
     #[test]
@@ -680,6 +810,11 @@ mod tests {
             "# TYPE oe_pulls_total counter\noe_pulls_total 7\n".into(),
         )));
         roundtrip(Frame::Response(Response::Metrics(String::new())));
+        roundtrip(Frame::Response(Response::Entry(Some((
+            17,
+            vec![0.5, -2.0, f32::MAX],
+        )))));
+        roundtrip(Frame::Response(Response::Entry(None)));
         roundtrip(Frame::Response(Response::Error {
             kind: ErrorKind::Corrupt,
             message: "bad magic".into(),
@@ -723,6 +858,7 @@ mod tests {
             2,
             5,
             Request::Pull {
+                epoch: 0,
                 batch: 1,
                 keys: vec![1, 2, 3],
             },
@@ -744,6 +880,7 @@ mod tests {
             1,
             7,
             Request::Push {
+                epoch: 0,
                 batch: 2,
                 keys: vec![10, 11],
                 grads: vec![0.25, -0.5, 1.0, 2.0],

@@ -29,6 +29,20 @@
 //! answers any mutating request at or below the recorded floor with a
 //! `Rejected` error instead of executing it. Floors only ratchet
 //! upward and are tracked per client id.
+//!
+//! ## Placement epochs
+//!
+//! Live migration (`oe-cluster`) changes which node owns a key; a
+//! client routing under a pre-cutover table would read or write keys
+//! that have already moved away. Every pull/push carries the placement
+//! epoch it was routed under; the server tracks the cluster epoch
+//! ([`Request::PlacementUpdate`], an upward ratchet like the seq fence)
+//! and rejects *fresh* bursts from older epochs. The order of checks is
+//! load-bearing: the replay cache is consulted **before** the epoch
+//! check, so a retry of a mutation that already executed pre-cutover
+//! still gets its original cached response — exactly-once survives the
+//! epoch bump — while an unexecuted stale burst is refused and the
+//! client must re-route under the new table.
 
 use crate::codec::{Frame, Packet, Request, Response};
 use crate::error::ErrorKind;
@@ -39,6 +53,7 @@ use oe_simdevice::Cost;
 use oe_telemetry::{Phase, PhaseTimes, Registry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -116,6 +131,9 @@ impl PsServer {
         let decode_errors = registry.counter("rpc_decode_errors_total");
         let replay_hits = registry.counter("rpc_replay_hits_total");
         let stale_rejects = registry.counter("rpc_stale_seq_rejections_total");
+        let placement_updates = registry.counter("rpc_placement_updates_total");
+        let epoch_rejects = registry.counter("rpc_stale_epoch_rejections_total");
+        let placement_epoch = Arc::new(AtomicU64::new(0));
         let phases = Arc::new(PhaseTimes::new(
             &registry,
             "rpc",
@@ -132,6 +150,9 @@ impl PsServer {
                 let decode_errors = decode_errors.clone();
                 let replay_hits = replay_hits.clone();
                 let stale_rejects = stale_rejects.clone();
+                let placement_updates = placement_updates.clone();
+                let epoch_rejects = epoch_rejects.clone();
+                let placement_epoch = Arc::clone(&placement_epoch);
                 let phases = Arc::clone(&phases);
                 let replay = Arc::clone(&replay);
                 let seq_floors = Arc::clone(&seq_floors);
@@ -174,6 +195,19 @@ impl PsServer {
                                         )
                                         .encode()
                                     }
+                                    Frame::Request(Request::PlacementUpdate { epoch }) => {
+                                        // Upward ratchet, like the seq
+                                        // fence: a replayed stale update
+                                        // is a harmless no-op.
+                                        placement_epoch.fetch_max(epoch, Ordering::SeqCst);
+                                        placement_updates.inc();
+                                        Packet::response(
+                                            token.0,
+                                            token.1,
+                                            Response::Ack { cost: Cost::new() },
+                                        )
+                                        .encode()
+                                    }
                                     Frame::Request(r) => {
                                         let fenced = r.is_mutating()
                                             && seq_floors
@@ -206,8 +240,37 @@ impl PsServer {
                                             };
                                             match cached {
                                                 Some(bytes) => {
+                                                    // Cached ⇒ already
+                                                    // executed; answer the
+                                                    // retry even if the
+                                                    // placement epoch has
+                                                    // moved on since.
                                                     replay_hits.inc();
                                                     bytes
+                                                }
+                                                None if Self::stale_epoch(
+                                                    &r,
+                                                    placement_epoch.load(Ordering::SeqCst),
+                                                ) =>
+                                                {
+                                                    // Never cached: the
+                                                    // client re-routes and
+                                                    // re-sends under the
+                                                    // current table.
+                                                    epoch_rejects.inc();
+                                                    Packet::response(
+                                                        token.0,
+                                                        token.1,
+                                                        Response::Error {
+                                                            kind: ErrorKind::Rejected,
+                                                            message:
+                                                                "stale placement epoch: burst \
+                                                                 routed under a pre-migration \
+                                                                 table"
+                                                                    .to_string(),
+                                                        },
+                                                    )
+                                                    .encode()
                                                 }
                                                 None => {
                                                     let mutating = r.is_mutating();
@@ -263,15 +326,33 @@ impl PsServer {
         ServerHandle { workers, registry }
     }
 
+    /// Routed under an older placement epoch than the server's? Only
+    /// pull/push carry routing decisions; everything else is epoch-free.
+    fn stale_epoch(req: &Request, server_epoch: u64) -> bool {
+        match req {
+            Request::Pull { epoch, .. } | Request::Push { epoch, .. } => *epoch < server_epoch,
+            _ => false,
+        }
+    }
+
     fn execute(engine: &dyn PsEngine, req: Request) -> Response {
         match req {
-            Request::Pull { batch, keys } => {
+            Request::Pull {
+                epoch: _,
+                batch,
+                keys,
+            } => {
                 let mut weights = Vec::with_capacity(keys.len() * engine.dim());
                 let mut cost = Cost::new();
                 engine.pull(&keys, batch, &mut weights, &mut cost);
                 Response::Weights { weights, cost }
             }
-            Request::Push { batch, keys, grads } => {
+            Request::Push {
+                epoch: _,
+                batch,
+                keys,
+                grads,
+            } => {
                 let mut cost = Cost::new();
                 engine.push(&keys, &grads, batch, &mut cost);
                 Response::Ack { cost }
@@ -304,6 +385,27 @@ impl PsServer {
             // Also intercepted in the worker loop (floors live beside
             // the replay cache, not in the engine).
             Request::SeqFence { .. } => Response::Ack { cost: Cost::new() },
+            // Intercepted in the worker loop too (the epoch lives beside
+            // the seq floors, not in the engine).
+            Request::PlacementUpdate { .. } => Response::Ack { cost: Cost::new() },
+            Request::ExportEntry { key } => {
+                let mut cost = Cost::new();
+                Response::Entry(engine.export_entry(key, &mut cost))
+            }
+            Request::ImportEntry {
+                key,
+                version,
+                payload,
+            } => {
+                let mut cost = Cost::new();
+                engine.import_entry(key, version, &payload, &mut cost);
+                Response::Ack { cost }
+            }
+            Request::DiscardEntry { key } => {
+                let mut cost = Cost::new();
+                engine.discard_entry(key, &mut cost);
+                Response::Ack { cost }
+            }
         }
     }
 }
@@ -336,6 +438,7 @@ mod tests {
                 1,
                 1,
                 Request::Pull {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![10, 20],
                 },
@@ -376,6 +479,7 @@ mod tests {
             7,
             1,
             Request::Pull {
+                epoch: 0,
                 batch: 1,
                 keys: vec![5],
             },
@@ -399,6 +503,7 @@ mod tests {
             7,
             4,
             Request::Push {
+                epoch: 0,
                 batch: 1,
                 keys: vec![5],
                 grads: vec![1.0; 4],
@@ -448,6 +553,7 @@ mod tests {
                 7,
                 1,
                 Request::Pull {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![3],
                 },
@@ -481,6 +587,7 @@ mod tests {
                 7,
                 4,
                 Request::Push {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![3],
                     grads: vec![1.0; 4],
@@ -511,6 +618,7 @@ mod tests {
                 8,
                 4,
                 Request::Push {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![3],
                     grads: vec![1.0; 4],
@@ -524,6 +632,7 @@ mod tests {
                 7,
                 13,
                 Request::Push {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![3],
                     grads: vec![1.0; 4],
@@ -556,6 +665,7 @@ mod tests {
                 7,
                 9,
                 Request::Push {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![3],
                     grads: vec![1.0; 4],
@@ -592,6 +702,7 @@ mod tests {
                 1,
                 1,
                 Request::Pull {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![9],
                 },
@@ -609,6 +720,7 @@ mod tests {
                     cid,
                     100,
                     Request::Push {
+                        epoch: 0,
                         batch: 1,
                         keys: vec![9],
                         grads: vec![0.5; 4],
@@ -668,6 +780,7 @@ mod tests {
                 1,
                 1,
                 Request::Pull {
+                    epoch: 0,
                     batch: 1,
                     keys: vec![1, 2, 3],
                 },
@@ -684,6 +797,227 @@ mod tests {
         // Engine-side metrics (PsNode registry appended).
         assert!(text.contains("oe_pulls_total 3"), "text:\n{text}");
         assert!(text.contains("oe_pull_latency_ns"));
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn epoch_fence_rejects_fresh_but_replays_cached_across_a_bump() {
+        let (client, handle) = spawn_node();
+        // A push executes under epoch 0 and lands in the replay cache.
+        call(
+            &client,
+            Packet::request(
+                3,
+                1,
+                Request::Pull {
+                    epoch: 0,
+                    batch: 1,
+                    keys: vec![5],
+                },
+            ),
+        );
+        call(
+            &client,
+            Packet::request(3, 2, Request::EndPullPhase { batch: 1 }),
+        );
+        let push = Packet::request(
+            3,
+            3,
+            Request::Push {
+                epoch: 0,
+                batch: 1,
+                keys: vec![5],
+                grads: vec![1.0; 4],
+            },
+        );
+        let first = call(&client, push.clone());
+        assert!(matches!(first.frame, Frame::Response(Response::Ack { .. })));
+        // Migration cutover: the rebalancer announces epoch 2.
+        let resp = call(
+            &client,
+            Packet::request(3, 4, Request::PlacementUpdate { epoch: 2 }),
+        );
+        assert!(matches!(resp.frame, Frame::Response(Response::Ack { .. })));
+        // A retry of the already-executed token crosses the bump: it
+        // must get the cached response, not a reject — and not apply
+        // the gradient a second time.
+        let retry = call(&client, push);
+        assert_eq!(retry, first, "cached bytes answer the retry");
+        let w = match call(
+            &client,
+            Packet::request(3, 5, Request::ReadWeights { key: 5 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        // A FRESH burst still routed under the old table is refused.
+        let stale = call(
+            &client,
+            Packet::request(
+                3,
+                6,
+                Request::Push {
+                    epoch: 0,
+                    batch: 2,
+                    keys: vec![5],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        match stale.frame {
+            Frame::Response(Response::Error { kind, message }) => {
+                assert_eq!(kind, ErrorKind::Rejected);
+                assert!(message.contains("placement epoch"), "{message}");
+            }
+            other => panic!("stale-epoch push executed: {other:?}"),
+        }
+        let w_after = match call(
+            &client,
+            Packet::request(3, 7, Request::ReadWeights { key: 5 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(w, w_after, "rejected burst left weights untouched");
+        // Re-routed under the current epoch it executes fine.
+        let ok = call(
+            &client,
+            Packet::request(
+                3,
+                8,
+                Request::Push {
+                    epoch: 2,
+                    batch: 2,
+                    keys: vec![5],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        assert!(matches!(ok.frame, Frame::Response(Response::Ack { .. })));
+        // A delayed duplicate of an older update must not lower the epoch.
+        call(
+            &client,
+            Packet::request(3, 9, Request::PlacementUpdate { epoch: 1 }),
+        );
+        let still_stale = call(
+            &client,
+            Packet::request(
+                3,
+                10,
+                Request::Push {
+                    epoch: 1,
+                    batch: 3,
+                    keys: vec![5],
+                    grads: vec![1.0; 4],
+                },
+            ),
+        );
+        assert!(
+            matches!(
+                still_stale.frame,
+                Frame::Response(Response::Error {
+                    kind: ErrorKind::Rejected,
+                    ..
+                })
+            ),
+            "epoch ratchets up only"
+        );
+        let snap = handle.registry().snapshot();
+        assert_eq!(snap.counter("rpc_stale_epoch_rejections_total"), Some(2));
+        assert_eq!(snap.counter("rpc_placement_updates_total"), Some(2));
+        assert_eq!(snap.counter("rpc_replay_hits_total"), Some(1));
+        drop(client);
+        handle.join();
+    }
+
+    #[test]
+    fn migration_rpcs_move_a_full_entry_over_the_wire() {
+        let (client, handle) = spawn_node();
+        // Create an entry and train it a little so it has real state.
+        call(
+            &client,
+            Packet::request(
+                9,
+                1,
+                Request::Pull {
+                    epoch: 0,
+                    batch: 1,
+                    keys: vec![77],
+                },
+            ),
+        );
+        call(
+            &client,
+            Packet::request(9, 2, Request::EndPullPhase { batch: 1 }),
+        );
+        call(
+            &client,
+            Packet::request(
+                9,
+                3,
+                Request::Push {
+                    epoch: 0,
+                    batch: 1,
+                    keys: vec![77],
+                    grads: vec![0.25; 4],
+                },
+            ),
+        );
+        // Export the full entry (weights + optimizer state + version).
+        let (version, payload) = match call(
+            &client,
+            Packet::request(9, 4, Request::ExportEntry { key: 77 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::Entry(Some(e))) => e,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(payload.len() >= 4, "payload carries at least the weights");
+        // Exporting a key that was never touched yields None.
+        let missing = call(
+            &client,
+            Packet::request(9, 5, Request::ExportEntry { key: 123_456 }),
+        );
+        assert_eq!(missing.frame, Frame::Response(Response::Entry(None)));
+        // Cutover source side: discard forgets the key…
+        call(
+            &client,
+            Packet::request(9, 6, Request::DiscardEntry { key: 77 }),
+        );
+        let gone = call(
+            &client,
+            Packet::request(9, 7, Request::ReadWeights { key: 77 }),
+        );
+        assert_eq!(gone.frame, Frame::Response(Response::MaybeWeights(None)));
+        // …and import (as the destination would) restores it exactly.
+        call(
+            &client,
+            Packet::request(
+                9,
+                8,
+                Request::ImportEntry {
+                    key: 77,
+                    version,
+                    payload: payload.clone(),
+                },
+            ),
+        );
+        let back = match call(
+            &client,
+            Packet::request(9, 9, Request::ReadWeights { key: 77 }),
+        )
+        .frame
+        {
+            Frame::Response(Response::MaybeWeights(Some(w))) => w,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(&back[..], &payload[..4], "weights survive the round trip");
         drop(client);
         handle.join();
     }

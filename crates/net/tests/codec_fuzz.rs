@@ -35,7 +35,7 @@ proptest! {
         keys in prop::collection::vec(any::<u64>(), 0..32),
         cut_frac in 0.0f64..1.0,
     ) {
-        let enc = Packet::request(client, seq, Request::Pull { batch: 1, keys }).encode();
+        let enc = Packet::request(client, seq, Request::Pull { epoch: 0, batch: 1, keys }).encode();
         let cut = ((enc.len() as f64) * cut_frac) as usize;
         prop_assume!(cut < enc.len());
         let err = Packet::decode(enc.slice(0..cut)).expect_err("truncated must not decode");
@@ -52,7 +52,7 @@ proptest! {
         flip_byte in any::<prop::sample::Index>(),
         flip_bit in 0u8..8,
     ) {
-        let enc = Packet::request(7, seq, Request::Push { batch: 3, keys, grads }).encode();
+        let enc = Packet::request(7, seq, Request::Push { epoch: 0, batch: 3, keys, grads }).encode();
         let byte = flip_byte.index(enc.len());
         let mut mutated = BytesMut::from(&enc[..]);
         mutated[byte] ^= 1 << flip_bit;
@@ -71,7 +71,7 @@ proptest! {
         batch in any::<u64>(),
         keys in prop::collection::vec(any::<u64>(), 0..64),
     ) {
-        let p = Packet::request(client, seq, Request::Pull { batch, keys });
+        let p = Packet::request(client, seq, Request::Pull { epoch: 0, batch, keys });
         let enc = p.encode();
         let dec = Packet::decode(enc.clone()).expect("valid frame decodes");
         prop_assert_eq!(dec.client, client);

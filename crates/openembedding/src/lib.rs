@@ -46,6 +46,7 @@
 //! | [`pmem`] | PMDK-style pool: slot allocator, persistent root, recovery scan |
 //! | [`cache`] | DRAM cache primitives: arena, tagged pointers, LRU, version chains |
 //! | [`core`] | the PS node (Algorithms 1 & 2), checkpointing, recovery, optimizers |
+//! | [`cluster`] | skew-aware placement plane: epoch-versioned routing, live shard migration, rebalancing |
 //! | [`baselines`] | DRAM-PS, Ori-Cache, PMem-Hash, TF-PS, incremental checkpointing |
 //! | [`workload`] | skew models fitted to the paper's trace, Criteo synth, analysis |
 //! | [`train`] | synchronous-training simulator, DeepFM, failure injection, cost model |
@@ -56,6 +57,7 @@ pub mod layer;
 
 pub use oe_baselines as baselines;
 pub use oe_cache as cache;
+pub use oe_cluster as cluster;
 pub use oe_core as core;
 pub use oe_net as net;
 pub use oe_pmem as pmem;
@@ -69,6 +71,9 @@ pub use oe_workload as workload;
 pub mod prelude {
     pub use crate::layer::{EmbeddingActivation, EmbeddingLayer};
     pub use oe_baselines::{CkptDevice, DramPs, IncrementalCkpt, OriCache, PmemHash, TfPs};
+    pub use oe_cluster::{
+        MigrationSpec, NodeClass, PlacedCluster, PlacementTable, RebalanceConfig,
+    };
     pub use oe_core::engine::PsEngine;
     pub use oe_core::{
         BatchId, CheckpointScheduler, Cluster, Key, NodeConfig, Optimizer, OptimizerKind, PsNode,

@@ -302,7 +302,7 @@ mod tests {
         assert_eq!(snap.counter("serve_unknown_keys_total"), Some(1));
         let lookups = snap.histogram("serve_lookup_latency_ns").expect("hist");
         assert_eq!(lookups.count(), 4, "every lookup path records a span");
-        let _ = node.top_k(&vec![1.0; DIM], &[1, 2, 3], 2, &mut cost);
+        let _ = node.top_k(&[1.0; DIM], &[1, 2, 3], 2, &mut cost);
         let snap = node.registry().snapshot();
         assert_eq!(snap.histogram("serve_topk_latency_ns").unwrap().count(), 1);
         let text = node.metrics_text();

@@ -696,7 +696,8 @@ mod tests {
         let build_to = |stop_before: u64| {
             let m = pmem();
             let mut cost = Cost::new();
-            let ops: Vec<Box<dyn Fn(&Media, &mut Cost)>> = vec![
+            type MediaOp = Box<dyn Fn(&Media, &mut Cost)>;
+            let ops: Vec<MediaOp> = vec![
                 Box::new(|m, c| m.write(0, b"1111", c)),
                 Box::new(|m, c| m.flush(0, 4, c)), // event 0
                 Box::new(|m, c| m.write(64, b"2222", c)),

@@ -223,6 +223,31 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The window between `base` (an earlier snapshot of the same
+    /// histogram) and `self`: cellwise count difference, so quantiles
+    /// over just the samples recorded since `base` — how a controller
+    /// watches a *recent* p99 on a cumulative histogram. `min`/`max`
+    /// are carried from the cumulative snapshot (exact window extrema
+    /// are not recoverable from two snapshots), so they bound the
+    /// window loosely; the bucket-resolution quantiles are exact for
+    /// the window.
+    pub fn delta_since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&base.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let total = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            total,
+            sum: self.sum.saturating_sub(base.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+
     /// `p50/p95/p99/max` summary line in milliseconds.
     pub fn summary_ms(&self) -> String {
         format!(
@@ -311,6 +336,33 @@ mod tests {
         assert_eq!(sa.max(), 1_000_000);
         assert_eq!(sa.min(), 100);
         assert_eq!(sa.sum(), 1_000_100);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1_000); // old regime: fast
+        }
+        let base = h.snapshot();
+        for _ in 0..50 {
+            h.record(1_000_000); // new regime: 1 ms stalls
+        }
+        let delta = h.snapshot().delta_since(&base);
+        assert_eq!(delta.count(), 50, "only window samples");
+        assert_eq!(delta.sum(), 50 * 1_000_000);
+        assert!(
+            delta.p50() >= 900_000,
+            "window median sees the stalls: {}",
+            delta.p50()
+        );
+        // The cumulative snapshot's median still reflects the old regime.
+        assert!(h.snapshot().p50() < 2_000);
+        // Identical snapshots produce an empty window.
+        let s = h.snapshot();
+        let empty = s.delta_since(&s);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]

@@ -300,6 +300,34 @@ impl<'a> SyncTrainer<'a> {
     /// gradients the replay is bit-identical to a fault-free run.
     /// Unresolved errors propagate.
     pub fn try_run(&mut self, start_batch: BatchId, batches: u64) -> Result<TrainReport, NetError> {
+        self.try_run_with_hook(start_batch, batches, |_| {})
+    }
+
+    /// [`SyncTrainer::run`] with a per-batch hook. Panics on backend
+    /// failure.
+    pub fn run_with_hook(
+        &mut self,
+        start_batch: BatchId,
+        batches: u64,
+        hook: impl FnMut(BatchId),
+    ) -> TrainReport {
+        self.try_run_with_hook(start_batch, batches, hook)
+            .unwrap_or_else(|e| panic!("training backend failed: {e}"))
+    }
+
+    /// [`SyncTrainer::try_run`] with a hook fired after every batch
+    /// that completes successfully (receiving that batch's id). This
+    /// is the driver seam for out-of-band control: a rebalancer forcing
+    /// a shard migration mid-epoch, a test asserting invariants at a
+    /// batch boundary, a progress bar. Batches replayed after a
+    /// failover fire the hook again — the hook sees exactly the batches
+    /// that counted.
+    pub fn try_run_with_hook(
+        &mut self,
+        start_batch: BatchId,
+        batches: u64,
+        mut hook: impl FnMut(BatchId),
+    ) -> Result<TrainReport, NetError> {
         let ctx = BatchCtx {
             dim: self.backend.dim(),
             spec: self.gen.spec().clone(),
@@ -320,7 +348,10 @@ impl<'a> SyncTrainer<'a> {
         let mut b = start_batch;
         while b < end {
             match self.run_batch(b, &ctx, &mut acc) {
-                Ok(()) => b += 1,
+                Ok(()) => {
+                    hook(b);
+                    b += 1;
+                }
                 Err(err) => match self.backend.failover_resume() {
                     Some(ev) => {
                         // The promoted standby's state ends at the

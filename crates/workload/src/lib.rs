@@ -22,10 +22,12 @@ pub mod analyze;
 pub mod criteo;
 pub mod generator;
 pub mod skew;
+pub mod storm;
 pub mod trace;
 
 pub use analyze::{che_miss_rate, top_share_empirical, RankFrequency};
 pub use criteo::{CriteoSample, CriteoSynth};
 pub use generator::{Batch, WorkloadGen, WorkloadSpec};
 pub use skew::SkewModel;
+pub use storm::{StormGen, StormSpec};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
