@@ -36,8 +36,20 @@ else
   cargo run --release -p oe-bench --bin crashmc -- --smoke --out BENCH_crashmc.json
 fi
 
-echo "==> pull/push hot-path bench (smoke)"
-cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.json
+# Perf-trajectory harness: the gated benches append their metrics to
+# BENCH_trajectory.json (keyed by git commit) and fail CI when any
+# metric drops >30% below BENCH_baseline.json. After an intentional
+# perf change, accept the new numbers with:  UPDATE_BASELINE=1 ./ci.sh
+GATE_FLAGS=(--record BENCH_trajectory.json --gate BENCH_baseline.json)
+if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
+  GATE_FLAGS+=(--update-baseline)
+fi
+
+echo "==> pull/push hot-path bench (smoke, gated)"
+cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.json "${GATE_FLAGS[@]}"
+
+echo "==> optimizer-kernel & codec microbench (smoke, gated)"
+cargo run --release -p oe-bench --bin kernels -- --smoke --out BENCH_kernels.json "${GATE_FLAGS[@]}"
 
 echo "==> failover/retry-overhead bench (smoke)"
 cargo run --release -p oe-bench --bin failover -- --smoke --out BENCH_failover.json
@@ -45,7 +57,7 @@ cargo run --release -p oe-bench --bin failover -- --smoke --out BENCH_failover.j
 echo "==> mid-epoch live-migration smoke"
 cargo test --release -q -p openembedding --test rebalance_e2e
 
-echo "==> skew-aware rebalancing bench (smoke)"
-cargo run --release -p oe-bench --bin rebalance -- --smoke --out BENCH_rebalance.json
+echo "==> skew-aware rebalancing bench (smoke, gated)"
+cargo run --release -p oe-bench --bin rebalance -- --smoke --out BENCH_rebalance.json "${GATE_FLAGS[@]}"
 
 echo "CI OK"

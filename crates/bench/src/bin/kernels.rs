@@ -1,21 +1,21 @@
-//! Skew-aware rebalancing bench: hot-key storm vs live shard drain,
-//! JSON artifact emitter, trajectory recorder, and perf-regression
-//! gate.
+//! Optimizer-kernel and codec wall-clock microbench, JSON artifact
+//! emitter, trajectory recorder, and perf-regression gate.
 //!
 //! ```sh
-//! cargo run --release -p oe-bench --bin rebalance            # paper shape
-//! cargo run --release -p oe-bench --bin rebalance -- --smoke # CI shape
-//! cargo run --release -p oe-bench --bin rebalance -- --smoke \
-//!     --out BENCH_rebalance.json \
+//! cargo run --release -p oe-bench --bin kernels              # full sweep
+//! cargo run --release -p oe-bench --bin kernels -- --smoke \
+//!     --out BENCH_kernels.json \
 //!     --record BENCH_trajectory.json \
 //!     --gate BENCH_baseline.json          # CI: fail on >30% regression
+//! cargo run --release -p oe-bench --bin kernels -- --smoke \
+//!     --gate BENCH_baseline.json --update-baseline   # accept new numbers
 //! ```
 //!
-//! All gated metrics are virtual-time (deterministic); the baseline
-//! also pins `bit_identical` at 1.0, so a run whose arms diverge
-//! fails the gate outright.
+//! Only speedup *ratios* (vector/scalar, view/owned) are gated for
+//! this bench — absolute Mf32/s and MB/s rates are machine-dependent
+//! and recorded for the trajectory only.
 
-use oe_bench::rebalance::{metrics, print_report, run, RebalanceBenchConfig};
+use oe_bench::kernels::{metrics, print_report, run, KernelsConfig};
 use oe_bench::trajectory::record_and_gate;
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
             "--update-baseline" => update = true,
             other => {
                 eprintln!(
-                    "usage: rebalance [--smoke] [--out PATH] [--record TRAJECTORY] \
+                    "usage: kernels [--smoke] [--out PATH] [--record TRAJECTORY] \
                      [--gate BASELINE] [--update-baseline]   (unknown arg: {other})"
                 );
                 std::process::exit(2);
@@ -50,9 +50,9 @@ fn main() {
         }
     }
     let cfg = if smoke {
-        RebalanceBenchConfig::smoke()
+        KernelsConfig::smoke()
     } else {
-        RebalanceBenchConfig::paper()
+        KernelsConfig::paper()
     };
     let report = run(&cfg);
     print_report(&report);
@@ -61,8 +61,22 @@ fn main() {
         std::fs::write(path, json + "\n").expect("write bench artifact");
         println!("wrote {path}");
     }
-    let m = metrics(&report);
-    if !record_and_gate("rebalance", &m, record.as_deref(), gate.as_deref(), update) {
+    // Record everything; gate only the noise-robust aggregates — the
+    // sweep-wide geomean speedups and the codec decode ratio. Per-cell
+    // wall-clock ratios swing too much run-to-run to hold to a 30%
+    // band, but a vanished fast path still drags every aggregate down.
+    let all = metrics(&report);
+    let gated: Vec<(String, f64)> = all
+        .iter()
+        .filter(|(k, _)| k.starts_with("geomean_") || k.as_str() == "codec_speedup_decode")
+        .cloned()
+        .collect();
+    if let Some(p) = &record {
+        if !record_and_gate("kernels", &all, Some(p), None, false) {
+            std::process::exit(1);
+        }
+    }
+    if !record_and_gate("kernels", &gated, None, gate.as_deref(), update) {
         std::process::exit(1);
     }
 }

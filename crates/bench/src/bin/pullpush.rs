@@ -1,30 +1,50 @@
-//! Shard-plan pull/push throughput bench, JSON artifact emitter.
+//! Shard-plan pull/push throughput bench, JSON artifact emitter,
+//! trajectory recorder, and perf-regression gate.
 //!
 //! ```sh
 //! cargo run --release -p oe-bench --bin pullpush            # paper shape
 //! cargo run --release -p oe-bench --bin pullpush -- --smoke # CI shape
-//! cargo run --release -p oe-bench --bin pullpush -- --smoke --out BENCH_pullpush.json
+//! cargo run --release -p oe-bench --bin pullpush -- --smoke \
+//!     --out BENCH_pullpush.json \
+//!     --record BENCH_trajectory.json \
+//!     --gate BENCH_baseline.json          # CI: fail on >30% regression
 //! ```
+//!
+//! All gated pullpush metrics are *virtual-time* throughputs and
+//! speedups — deterministic cost-model arithmetic, identical on every
+//! machine — so a gate failure here is always a real code change, not
+//! noise.
 
-use oe_bench::pullpush::{print_report, run, PullPushConfig};
+use oe_bench::pullpush::{metrics, print_report, run, PullPushConfig};
+use oe_bench::trajectory::record_and_gate;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
     let mut out: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut update = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut path_arg = |flag: &str| match it.next() {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("{flag} requires a path");
+                std::process::exit(2);
+            }
+        };
         match a.as_str() {
             "--smoke" => smoke = true,
-            "--out" => match it.next() {
-                Some(p) => out = Some(p.clone()),
-                None => {
-                    eprintln!("--out requires a path");
-                    std::process::exit(2);
-                }
-            },
+            "--out" => out = Some(path_arg("--out")),
+            "--record" => record = Some(path_arg("--record")),
+            "--gate" => gate = Some(path_arg("--gate")),
+            "--update-baseline" => update = true,
             other => {
-                eprintln!("usage: pullpush [--smoke] [--out PATH]   (unknown arg: {other})");
+                eprintln!(
+                    "usage: pullpush [--smoke] [--out PATH] [--record TRAJECTORY] \
+                     [--gate BASELINE] [--update-baseline]   (unknown arg: {other})"
+                );
                 std::process::exit(2);
             }
         }
@@ -36,9 +56,13 @@ fn main() {
     };
     let report = run(&cfg);
     print_report(&report);
-    if let Some(path) = out {
+    if let Some(path) = &out {
         let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        std::fs::write(&path, json + "\n").expect("write bench artifact");
+        std::fs::write(path, json + "\n").expect("write bench artifact");
         println!("wrote {path}");
+    }
+    let m = metrics(&report);
+    if !record_and_gate("pullpush", &m, record.as_deref(), gate.as_deref(), update) {
+        std::process::exit(1);
     }
 }

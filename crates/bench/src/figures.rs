@@ -730,6 +730,20 @@ pub fn pullpush(sc: &Scenario) {
     crate::pullpush::print_report(&r);
 }
 
+/// Optimizer-kernel and codec wall-clock microbench: scalar vs
+/// vectorized vs batched applies, owned vs borrowed codec (see
+/// [`crate::kernels`]).
+pub fn kernels(sc: &Scenario) {
+    hr("kernels — optimizer kernel & zero-copy codec wall-clock microbench");
+    let cfg = if sc.batch_size < 1024 {
+        crate::kernels::KernelsConfig::smoke()
+    } else {
+        crate::kernels::KernelsConfig::paper()
+    };
+    let r = crate::kernels::run(&cfg);
+    crate::kernels::print_report(&r);
+}
+
 /// Fault tolerance: retry overhead on a lossy wire and checkpoint-
 /// failover recovery latency (see [`crate::failover`]).
 pub fn failover(sc: &Scenario) {
@@ -788,6 +802,7 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     latency(sc);
     ablations(sc);
     pullpush(sc);
+    kernels(sc);
     failover(sc);
     crashmc(sc);
     rebalance(sc);

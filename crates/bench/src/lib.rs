@@ -23,6 +23,14 @@
 //!   melts one shard; the telemetry-driven rebalancer drains it live
 //!   and restores tail latency, emitted as `BENCH_rebalance.json` by
 //!   the `rebalance` binary.
+//! - [`kernels`] — wall-clock microbench of the vectorized optimizer
+//!   kernels (scalar vs SIMD-shaped vs batched) and the zero-copy
+//!   codec (owned vs borrowed encode/decode), emitted as
+//!   `BENCH_kernels.json` by the `kernels` binary.
+//! - [`trajectory`] — persistent perf trajectory: appends each gated
+//!   run's metrics to `BENCH_trajectory.json` keyed by git commit and
+//!   fails CI when a metric regresses >30% below
+//!   `BENCH_baseline.json`.
 //!
 //! Run `cargo run --release -p oe-bench --bin figures -- all` (or a
 //! single id, or `--quick` for a fast pass).
@@ -30,12 +38,16 @@
 pub mod crashmc;
 pub mod failover;
 pub mod figures;
+pub mod kernels;
 pub mod pullpush;
 pub mod rebalance;
 pub mod scenario;
+pub mod trajectory;
 
 pub use crashmc::{CrashMcBenchConfig, CrashMcReport};
 pub use failover::{FailoverConfig, FailoverReport};
+pub use kernels::{KernelsConfig, KernelsReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
 pub use rebalance::{RebalanceBenchConfig, RebalanceReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};
+pub use trajectory::{GateOutcome, DEFAULT_THRESHOLD};

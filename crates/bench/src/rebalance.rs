@@ -302,6 +302,29 @@ pub fn run(cfg: &RebalanceBenchConfig) -> RebalanceReport {
     }
 }
 
+/// Trajectory/gate metrics (all deterministic virtual-time, all
+/// higher-is-better): the headline p99 improvement, inverted
+/// late-storm p99s (so latency regressions trip the gate), and
+/// bit-identity as 1.0/0.0 — a baseline of 1.0 makes any non-identical
+/// run an automatic gate failure.
+pub fn metrics(r: &RebalanceReport) -> Vec<(String, f64)> {
+    vec![
+        ("p99_improvement".to_string(), r.p99_improvement),
+        (
+            "rebalanced_late_p99_inv_per_sec".to_string(),
+            1e9 / r.rebalanced_arm.storm_late_p99_ns.max(1) as f64,
+        ),
+        (
+            "static_late_p99_inv_per_sec".to_string(),
+            1e9 / r.static_arm.storm_late_p99_ns.max(1) as f64,
+        ),
+        (
+            "bit_identical".to_string(),
+            if r.bit_identical { 1.0 } else { 0.0 },
+        ),
+    ]
+}
+
 /// Human-readable table, printed by `figures -- rebalance`.
 pub fn print_report(r: &RebalanceReport) {
     let c = &r.config;

@@ -1,0 +1,437 @@
+//! Persistent perf trajectory: every gated bench run appends its
+//! metrics to `BENCH_trajectory.json`, keyed by git commit, and is
+//! checked against `BENCH_baseline.json` — a flat `"bench.metric":
+//! value` object. All recorded metrics are higher-is-better
+//! (throughputs and speedup ratios); the gate fails when a metric
+//! drops more than [`DEFAULT_THRESHOLD`] below its baseline.
+//!
+//! The workspace's vendored `serde_json` stub is serialize-only, so
+//! reading both files is hand-rolled here: the trajectory file is
+//! appended to by text-splicing its trailing `]`, and the baseline is
+//! parsed with a tiny flat-object scanner. Both writers emit plain
+//! pretty JSON that real tooling can consume.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Fraction a higher-is-better metric may fall below its baseline
+/// before the gate fails: 30%, loose enough for wall-clock jitter on
+/// best-of-k ratios, tight enough to catch a disabled fast path.
+pub const DEFAULT_THRESHOLD: f64 = 0.30;
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
+pub fn current_commit() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_time() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn entry_json(commit: &str, bench: &str, when: u64, metrics: &[(String, f64)]) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "  {{\n    \"commit\": \"{}\",\n    \"bench\": \"{}\",\n    \"unix_time\": {},\n    \"metrics\": {{",
+        escape(commit),
+        escape(bench),
+        when
+    );
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(s, "{sep}\n      \"{}\": {v}", escape(k));
+    }
+    if metrics.is_empty() {
+        s.push_str("}\n  }");
+    } else {
+        s.push_str("\n    }\n  }");
+    }
+    s
+}
+
+/// Append one run to the trajectory file, creating it as a fresh JSON
+/// array if absent. Entries carry the commit, bench name, unix time,
+/// and a flat metric map.
+pub fn record(path: &Path, bench: &str, metrics: &[(String, f64)]) -> io::Result<()> {
+    let entry = entry_json(&current_commit(), bench, unix_time(), metrics);
+    let existing = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim_end();
+    let out = if let Some(head) = trimmed.strip_suffix(']') {
+        let head = head.trim_end();
+        if head.trim_start() == "[" {
+            // Existing but empty array.
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("{head},\n{entry}\n]\n")
+        }
+    } else if trimmed.is_empty() {
+        format!("[\n{entry}\n]\n")
+    } else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a JSON array; refusing to append", path.display()),
+        ));
+    };
+    fs::write(path, out)
+}
+
+/// Parse a flat JSON object of `"name": number` pairs (the baseline
+/// format). Tolerates arbitrary whitespace; rejects nesting, strings,
+/// and anything else a baseline should not contain.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("baseline must be a JSON object")?;
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| format!("expected a quoted key at: {:.40}…", rest))?;
+        let end = rest.find('"').ok_or("unterminated key")?;
+        let key = rest[..end].to_string();
+        rest = rest[end + 1..].trim_start();
+        rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key:?}"))?
+            .trim_start();
+        let num_len = rest
+            .find(|c: char| !matches!(c, '0'..='9' | '+' | '-' | '.' | 'e' | 'E'))
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..num_len]
+            .parse()
+            .map_err(|_| format!("bad number for key {key:?}: {:?}", &rest[..num_len]))?;
+        out.push((key, value));
+        rest = rest[num_len..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(out)
+}
+
+fn write_flat_json(path: &Path, entries: &[(String, f64)]) -> io::Result<()> {
+    let mut s = String::from("{");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(s, "{sep}\n  \"{}\": {v}", escape(k));
+    }
+    s.push_str(if entries.is_empty() { "}\n" } else { "\n}\n" });
+    fs::write(path, s)
+}
+
+/// Gate outcome for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Every baselined metric is within the threshold.
+    Pass {
+        /// Metrics compared against a baseline entry.
+        checked: usize,
+        /// Current metrics with no baseline entry yet (not failures).
+        unbaselined: usize,
+    },
+    /// The baseline file does not exist yet — advisory, not a failure;
+    /// run with `--update-baseline` to create it.
+    NoBaseline,
+    /// At least one metric regressed past the threshold.
+    Fail(Vec<String>),
+}
+
+/// Compare `metrics` for `bench` against the flat baseline at `path`.
+/// Baseline keys are `"{bench}.{metric}"`; metrics missing from the
+/// baseline are counted but never fail (new metrics appear before
+/// their baseline does). All metrics are higher-is-better.
+pub fn gate(
+    path: &Path,
+    bench: &str,
+    metrics: &[(String, f64)],
+    threshold: f64,
+) -> Result<GateOutcome, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(GateOutcome::NoBaseline),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let baseline = parse_flat_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    let mut unbaselined = 0usize;
+    for (name, current) in metrics {
+        let key = format!("{bench}.{name}");
+        match baseline.iter().find(|(k, _)| *k == key) {
+            None => unbaselined += 1,
+            Some((_, base)) => {
+                checked += 1;
+                let floor = base * (1.0 - threshold);
+                if *current < floor {
+                    failures.push(format!(
+                        "{key}: {current:.4} < floor {floor:.4} (baseline {base:.4}, \
+                         -{:.0}% allowed)",
+                        threshold * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(GateOutcome::Pass {
+            checked,
+            unbaselined,
+        })
+    } else {
+        Ok(GateOutcome::Fail(failures))
+    }
+}
+
+/// Rewrite this bench's entries in the baseline with the current
+/// metrics, preserving other benches' entries and sorting keys.
+pub fn update_baseline(path: &Path, bench: &str, metrics: &[(String, f64)]) -> io::Result<()> {
+    let mut entries = match fs::read_to_string(path) {
+        Ok(text) => {
+            parse_flat_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let prefix = format!("{bench}.");
+    entries.retain(|(k, _)| !k.starts_with(&prefix));
+    entries.extend(metrics.iter().map(|(k, v)| (format!("{bench}.{k}"), *v)));
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    write_flat_json(path, &entries)
+}
+
+/// Shared CLI handling for gated bench binaries: applies
+/// `--record TRAJ`, `--gate BASE`, and `--update-baseline` to one
+/// bench's metrics. Returns `false` when the gate failed (the caller
+/// should exit nonzero). Prints its own report either way.
+pub fn record_and_gate(
+    bench: &str,
+    metrics: &[(String, f64)],
+    record_path: Option<&str>,
+    gate_path: Option<&str>,
+    do_update: bool,
+) -> bool {
+    if let Some(p) = record_path {
+        match record(Path::new(p), bench, metrics) {
+            Ok(()) => println!(
+                "trajectory: appended {} ({} metrics) to {p}",
+                bench,
+                metrics.len()
+            ),
+            Err(e) => {
+                eprintln!("trajectory: failed to append to {p}: {e}");
+                return false;
+            }
+        }
+    }
+    let Some(gp) = gate_path else { return true };
+    let gp_path = Path::new(gp);
+    if do_update {
+        match update_baseline(gp_path, bench, metrics) {
+            Ok(()) => {
+                println!("baseline: rewrote {bench}.* in {gp}");
+                return true;
+            }
+            Err(e) => {
+                eprintln!("baseline: failed to update {gp}: {e}");
+                return false;
+            }
+        }
+    }
+    match gate(gp_path, bench, metrics, DEFAULT_THRESHOLD) {
+        Ok(GateOutcome::Pass {
+            checked,
+            unbaselined,
+        }) => {
+            println!(
+                "gate: PASS — {checked} metrics within {:.0}% of {gp}\
+                 {}",
+                DEFAULT_THRESHOLD * 100.0,
+                if unbaselined > 0 {
+                    format!(" ({unbaselined} not yet baselined)")
+                } else {
+                    String::new()
+                }
+            );
+            true
+        }
+        Ok(GateOutcome::NoBaseline) => {
+            println!("gate: no baseline at {gp}; run with --update-baseline to create it");
+            true
+        }
+        Ok(GateOutcome::Fail(failures)) => {
+            eprintln!("gate: FAIL — perf regression vs {gp}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            eprintln!("  (intentional? re-run with --update-baseline to accept the new numbers)");
+            false
+        }
+        Err(e) => {
+            eprintln!("gate: cannot evaluate {gp}: {e}");
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "oe_traj_{}_{}_{name}",
+            std::process::id(),
+            unix_time()
+        ));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn m(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn record_appends_and_stays_an_array() {
+        let p = tmp("record.json");
+        record(&p, "alpha", &m(&[("x", 1.5), ("y", 2.0)])).unwrap();
+        record(&p, "beta", &m(&[("z", 3.0)])).unwrap();
+        let text = fs::read_to_string(&p).unwrap();
+        assert!(text.trim_start().starts_with('['), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        assert_eq!(text.matches("\"bench\"").count(), 2, "{text}");
+        assert!(
+            text.contains("\"alpha\"") && text.contains("\"beta\""),
+            "{text}"
+        );
+        // Appending twice more keeps splicing cleanly.
+        record(&p, "alpha", &m(&[("x", 1.6)])).unwrap();
+        let text = fs::read_to_string(&p).unwrap();
+        assert_eq!(text.matches("\"commit\"").count(), 3, "{text}");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn record_refuses_non_array_files() {
+        let p = tmp("notarray.json");
+        fs::write(&p, "{\"oops\": 1}").unwrap();
+        assert!(record(&p, "x", &[]).is_err());
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn flat_parser_handles_pretty_and_compact() {
+        let pretty = "{\n  \"a.b\": 1.5,\n  \"c.d\": -2e3\n}\n";
+        assert_eq!(
+            parse_flat_json(pretty).unwrap(),
+            vec![("a.b".to_string(), 1.5), ("c.d".to_string(), -2e3)]
+        );
+        assert_eq!(
+            parse_flat_json("{\"k\":2}").unwrap(),
+            vec![("k".to_string(), 2.0)]
+        );
+        assert_eq!(parse_flat_json("{}").unwrap(), vec![]);
+        assert!(parse_flat_json("[1,2]").is_err());
+        assert!(parse_flat_json("{\"k\": \"str\"}").is_err());
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_update() {
+        let p = tmp("base.json");
+        update_baseline(&p, "pullpush", &m(&[("pull", 100.0), ("push", 50.0)])).unwrap();
+        update_baseline(&p, "kernels", &m(&[("speedup", 3.0)])).unwrap();
+        let back = parse_flat_json(&fs::read_to_string(&p).unwrap()).unwrap();
+        assert_eq!(
+            back,
+            vec![
+                ("kernels.speedup".to_string(), 3.0),
+                ("pullpush.pull".to_string(), 100.0),
+                ("pullpush.push".to_string(), 50.0),
+            ]
+        );
+        // Updating one bench leaves the other untouched.
+        update_baseline(&p, "kernels", &m(&[("speedup", 4.0)])).unwrap();
+        let back = parse_flat_json(&fs::read_to_string(&p).unwrap()).unwrap();
+        assert!(back.contains(&("kernels.speedup".to_string(), 4.0)));
+        assert!(back.contains(&("pullpush.pull".to_string(), 100.0)));
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let p = tmp("gate.json");
+        update_baseline(&p, "b", &m(&[("fast", 100.0), ("ratio", 2.0)])).unwrap();
+        // 25% drop: inside the 30% threshold.
+        let ok = gate(&p, "b", &m(&[("fast", 75.0), ("ratio", 2.1)]), 0.30).unwrap();
+        assert_eq!(
+            ok,
+            GateOutcome::Pass {
+                checked: 2,
+                unbaselined: 0
+            }
+        );
+        // 40% drop on one metric: fail, and the message names it.
+        let bad = gate(&p, "b", &m(&[("fast", 60.0), ("ratio", 2.0)]), 0.30).unwrap();
+        let GateOutcome::Fail(msgs) = bad else {
+            panic!("expected failure");
+        };
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("b.fast"), "{msgs:?}");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn gate_tolerates_missing_baseline_and_new_metrics() {
+        let p = tmp("nogate.json");
+        assert_eq!(
+            gate(&p, "b", &m(&[("x", 1.0)]), 0.30).unwrap(),
+            GateOutcome::NoBaseline
+        );
+        update_baseline(&p, "b", &m(&[("x", 1.0)])).unwrap();
+        let out = gate(&p, "b", &m(&[("x", 1.0), ("brand_new", 9.0)]), 0.30).unwrap();
+        assert_eq!(
+            out,
+            GateOutcome::Pass {
+                checked: 1,
+                unbaselined: 1
+            }
+        );
+        fs::remove_file(&p).unwrap();
+    }
+}

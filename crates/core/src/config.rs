@@ -78,6 +78,12 @@ pub struct NodeConfig {
     ///   costs merge as max-over-lanes for parallelizable cost kinds
     ///   (see `oe_simdevice::CostKind::lane_parallel`).
     pub parallelism: usize,
+    /// Pin optimizer applies to the scalar reference loops instead of
+    /// the vectorized kernels. Wall-clock A/B baseline for the
+    /// `kernels`/`pullpush` benches; virtual-time costs and resulting
+    /// weights are identical either way (the kernels are bit-identical),
+    /// so flipping this never changes simulated results.
+    pub scalar_kernels: bool,
 }
 
 impl NodeConfig {
@@ -100,6 +106,7 @@ impl NodeConfig {
             replacement: PolicyKind::Lru,
             admission: AdmissionKind::Always,
             parallelism: 1,
+            scalar_kernels: false,
         }
     }
 

@@ -35,6 +35,7 @@ pub mod node;
 pub mod optimizer;
 pub mod plan;
 pub mod recovery;
+pub mod scratch;
 pub mod stats;
 
 pub use checkpoint::{BatchCadence, CheckpointScheduler};
@@ -42,8 +43,9 @@ pub use cluster::{hash_node_of, merge_node_parallel, Cluster};
 pub use config::{NodeConfig, CACHE_ENTRY_OVERHEAD_BYTES};
 pub use engine::{MaintenanceReport, PsEngine};
 pub use node::PsNode;
-pub use optimizer::{Optimizer, OptimizerKind};
+pub use optimizer::{Optimizer, OptimizerKind, ShapeError};
 pub use plan::{ShardBuckets, ShardGroup, ShardPlan};
+pub use scratch::{PooledScratch, ScratchPool, Shape};
 pub use stats::{EngineStats, StatsSnapshot};
 
 /// Embedding key (re-exported from `oe-cache`).

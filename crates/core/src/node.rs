@@ -33,6 +33,7 @@ use crate::engine::{MaintenanceReport, PsEngine};
 use crate::init::init_payload;
 use crate::optimizer::Optimizer;
 use crate::plan::{ShardBuckets, ShardGroup, ShardPlan};
+use crate::scratch::{PooledScratch, Scratch, ScratchPool, Shape};
 use crate::stats::{EngineStats, StatsSnapshot};
 use crate::{BatchId, Key};
 use oe_cache::chain::CHAIN_CAP;
@@ -81,13 +82,36 @@ enum PullOutcome {
     NewDeclined,
 }
 
-/// One execution lane's output for a planned pull: the deduped payloads
-/// (uniques × dim, in the lane's group order), one outcome per unique,
-/// and the lane's virtual-time cost (folded max-over-lanes for
-/// parallelizable kinds by [`Cost::merge_parallel`]).
-struct PullLane {
-    weights: Vec<f32>,
-    outcomes: Vec<PullOutcome>,
+impl PullOutcome {
+    /// Byte tag for the pooled lane scratch (outcomes ride in
+    /// [`Scratch::tags`] so a lane performs zero allocations of its own).
+    fn code(self) -> u8 {
+        match self {
+            PullOutcome::Hit => 0,
+            PullOutcome::Miss => 1,
+            PullOutcome::NewAdmitted => 2,
+            PullOutcome::NewDeclined => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Self {
+        match code {
+            0 => PullOutcome::Hit,
+            1 => PullOutcome::Miss,
+            2 => PullOutcome::NewAdmitted,
+            _ => PullOutcome::NewDeclined,
+        }
+    }
+}
+
+/// One execution lane's output for a planned pull, carried entirely in
+/// a pooled scratch arena: deduped payloads (uniques × dim, in the
+/// lane's group order) in `scratch.rows`, one outcome tag per unique in
+/// `scratch.tags`, plus the lane's virtual-time cost (folded
+/// max-over-lanes for parallelizable kinds by [`Cost::merge_parallel`]).
+/// Dropping the lane returns its buffers to the node's pool.
+struct PullLane<'p> {
+    scratch: PooledScratch<'p>,
     cost: Cost,
 }
 
@@ -107,6 +131,10 @@ pub struct PsNode {
     registry: Arc<Registry>,
     phases: PhaseTimes,
     committed_gauge: Gauge,
+    /// Per-request/per-lane scratch recycling: every hot-path buffer
+    /// (payload read scratch, gradient accumulators, lane weight rows,
+    /// batched-kernel rows) is drawn from here instead of allocated.
+    scratch: ScratchPool,
 }
 
 impl PsNode {
@@ -148,7 +176,11 @@ impl PsNode {
                 })
             })
             .collect();
-        let opt = cfg.optimizer.build();
+        let opt = if cfg.scalar_kernels {
+            cfg.optimizer.build_scalar()
+        } else {
+            cfg.optimizer.build()
+        };
         let registry = Arc::new(Registry::new());
         let stats = EngineStats::registered(&registry);
         let phases = PhaseTimes::new(
@@ -180,6 +212,7 @@ impl PsNode {
             registry,
             phases,
             committed_gauge,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -469,7 +502,9 @@ impl PsNode {
     /// Pull for cache-disabled mode: entries live in PMem only.
     fn pull_uncached(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
         let dim = self.cfg.dim;
-        let mut payload = vec![0f32; self.cfg.payload_f32s()];
+        let mut arena = self.scratch.acquire(Shape::lane(self.cfg.payload_f32s()));
+        arena.payload.resize(self.cfg.payload_f32s(), 0.0);
+        let payload = &mut arena.payload;
         for &key in keys {
             cost.charge(CostKind::Cpu, HASH_PROBE_NS);
             let sid = self.shard_of(key);
@@ -477,17 +512,15 @@ impl PsNode {
             match g.index.get(key) {
                 Some(e) => {
                     let slot = e.loc.as_pmem().expect("uncached mode: PMem only");
-                    self.pool
-                        .read_slot(slot, &mut payload, cost)
-                        .expect("valid");
+                    self.pool.read_slot(slot, payload, cost).expect("valid");
                     out.extend_from_slice(&payload[..dim]);
                     EngineStats::add(&self.stats.misses, 1);
                 }
                 None => {
-                    init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, &mut payload);
+                    init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, payload);
                     let (boundaries, _, _) = self.boundaries();
                     let slot = self.pool.alloc(cost);
-                    self.pool.write_slot(slot, key, batch, &payload, cost);
+                    self.pool.write_slot(slot, key, batch, payload, cost);
                     let mut chain = VersionChain::new();
                     chain.push(slot, batch);
                     let _ = boundaries;
@@ -505,7 +538,9 @@ impl PsNode {
     /// Push for cache-disabled mode: read-modify-write out of place.
     fn push_uncached(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
         let dim = self.cfg.dim;
-        let mut payload = vec![0f32; self.cfg.payload_f32s()];
+        let mut arena = self.scratch.acquire(Shape::lane(self.cfg.payload_f32s()));
+        arena.payload.resize(self.cfg.payload_f32s(), 0.0);
+        let payload = &mut arena.payload;
         let (boundaries, _, _) = self.boundaries();
         for (i, &key) in keys.iter().enumerate() {
             let sid = self.shard_of(key);
@@ -513,16 +548,13 @@ impl PsNode {
             let Shard { index, .. } = &mut *g;
             let e = index.get_mut(key).expect("pushed key must exist");
             let slot = e.loc.as_pmem().expect("uncached mode: PMem only");
-            self.pool
-                .read_slot(slot, &mut payload, cost)
-                .expect("valid");
-            self.opt
-                .apply(dim, &mut payload, &grads[i * dim..(i + 1) * dim]);
+            self.pool.read_slot(slot, payload, cost).expect("valid");
+            self.opt.apply(dim, payload, &grads[i * dim..(i + 1) * dim]);
             cost.charge(
                 CostKind::Cpu,
                 dim as u64 * OPT_FLOP_NS_PER_F32 + HASH_PROBE_NS,
             );
-            self.flush_payload(key, batch, &payload, &mut e.chain, &boundaries, cost);
+            self.flush_payload(key, batch, payload, &mut e.chain, &boundaries, cost);
             let (newest, _) = e.chain.newest().unwrap();
             e.loc = TaggedLoc::pmem(newest);
             e.version = batch;
@@ -600,7 +632,9 @@ impl PsNode {
         cost: &mut Cost,
     ) {
         let dim = self.cfg.dim;
-        let mut scratch = vec![0f32; self.cfg.payload_f32s()];
+        let mut arena = self.scratch.acquire(Shape::lane(self.cfg.payload_f32s()));
+        arena.payload.resize(self.cfg.payload_f32s(), 0.0);
+        let scratch = &mut arena.payload;
         for &key in keys {
             cost.charge(
                 CostKind::Cpu,
@@ -618,7 +652,7 @@ impl PsNode {
                     } else {
                         let slot = loc.as_pmem().unwrap();
                         self.pool
-                            .read_slot(slot, &mut scratch, cost)
+                            .read_slot(slot, scratch, cost)
                             .expect("indexed slot valid");
                         out.extend_from_slice(&scratch[..dim]);
                         EngineStats::add(&self.stats.misses, 1);
@@ -647,12 +681,14 @@ impl PsNode {
                     } else {
                         // Doorkeeper declined: initialize straight to
                         // PMem; the cache stays clean of singletons.
-                        let mut payload = vec![0f32; self.cfg.payload_f32s()];
-                        init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, &mut payload);
+                        // (`init_payload` fills the whole payload —
+                        // weights and zeroed state — so reusing the
+                        // read scratch here is safe.)
+                        init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, scratch);
                         let slot = self.pool.alloc(cost);
-                        self.pool.write_slot(slot, key, batch, &payload, cost);
+                        self.pool.write_slot(slot, key, batch, scratch, cost);
                         g.index.insert_recovered(key, slot, batch);
-                        out.extend_from_slice(&payload[..dim]);
+                        out.extend_from_slice(&scratch[..dim]);
                     }
                     EngineStats::add(&self.stats.new_entries, 1);
                     self.access_queue.push(key);
@@ -676,7 +712,9 @@ impl PsNode {
     fn push_cached_legacy(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
         let dim = self.cfg.dim;
         let (boundaries, _, protect_max) = self.boundaries();
-        let mut scratch = vec![0f32; self.cfg.payload_f32s()];
+        let mut arena = self.scratch.acquire(Shape::lane(self.cfg.payload_f32s()));
+        arena.payload.resize(self.cfg.payload_f32s(), 0.0);
+        let scratch = &mut arena.payload;
         for (i, &key) in keys.iter().enumerate() {
             cost.charge(
                 CostKind::Cpu,
@@ -696,12 +734,12 @@ impl PsNode {
                 None => {
                     let pm_slot = loc.as_pmem().expect("tagged loc");
                     self.pool
-                        .read_slot(pm_slot, &mut scratch, cost)
+                        .read_slot(pm_slot, scratch, cost)
                         .expect("indexed slot valid");
-                    self.opt.apply(dim, &mut scratch, grad);
+                    self.opt.apply(dim, scratch, grad);
                     let Shard { index, .. } = &mut *g;
                     let e = index.get_mut(key).expect("indexed");
-                    self.flush_payload(key, batch, &scratch, &mut e.chain, &boundaries, cost);
+                    self.flush_payload(key, batch, scratch, &mut e.chain, &boundaries, cost);
                     let (newest, _) = e.chain.newest().expect("just flushed");
                     e.loc = TaggedLoc::pmem(newest);
                     e.version = batch;
@@ -743,16 +781,17 @@ impl PsNode {
     /// Execute one shard group of a planned pull: the shard lock is
     /// taken exactly once (upgraded transiently for first-touch
     /// inserts), every unique key's payload is read exactly once.
+    /// Deduped weight rows land in `s.rows`, one outcome code per
+    /// unique in `s.tags`; `s.payload` is the PMem read scratch.
     fn pull_group(
         &self,
         group: &ShardGroup,
         batch: BatchId,
         boundaries: &[BatchId],
-        lane: &mut PullLane,
-        scratch: &mut [f32],
+        s: &mut Scratch,
+        cost: &mut Cost,
     ) {
         let dim = self.cfg.dim;
-        let cost = &mut lane.cost;
         cost.charge(CostKind::Cpu, SHARD_LOCK_NS);
         let mut guard = self.shards[group.shard].upgradable_read();
         for &key in &group.uniques {
@@ -761,17 +800,16 @@ impl PsNode {
             match known {
                 Some(loc) => {
                     if let Some(slot) = loc.as_dram() {
-                        lane.weights
-                            .extend_from_slice(&guard.arena.payload(slot)[..dim]);
+                        s.rows.extend_from_slice(&guard.arena.payload(slot)[..dim]);
                         cost.charge(CostKind::DramTransfer, self.dram.read_ns((dim * 4) as u64));
-                        lane.outcomes.push(PullOutcome::Hit);
+                        s.tags.push(PullOutcome::Hit.code());
                     } else {
                         let slot = loc.as_pmem().unwrap();
                         self.pool
-                            .read_slot(slot, scratch, cost)
+                            .read_slot(slot, &mut s.payload, cost)
                             .expect("indexed slot valid");
-                        lane.weights.extend_from_slice(&scratch[..dim]);
-                        lane.outcomes.push(PullOutcome::Miss);
+                        s.rows.extend_from_slice(&s.payload[..dim]);
+                        s.tags.push(PullOutcome::Miss.code());
                     }
                 }
                 None => {
@@ -794,18 +832,17 @@ impl PsNode {
                         );
                         g.index.insert_new_dram(key, slot, batch);
                         g.policy.on_insert(slot);
-                        lane.weights
-                            .extend_from_slice(&g.arena.payload(slot)[..dim]);
-                        lane.outcomes.push(PullOutcome::NewAdmitted);
+                        s.rows.extend_from_slice(&g.arena.payload(slot)[..dim]);
+                        s.tags.push(PullOutcome::NewAdmitted.code());
                     } else {
                         // Doorkeeper declined: initialize straight to
                         // PMem; the cache stays clean of singletons.
-                        init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, scratch);
+                        init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, &mut s.payload);
                         let slot = self.pool.alloc(cost);
-                        self.pool.write_slot(slot, key, batch, scratch, cost);
+                        self.pool.write_slot(slot, key, batch, &s.payload, cost);
                         g.index.insert_recovered(key, slot, batch);
-                        lane.weights.extend_from_slice(&scratch[..dim]);
-                        lane.outcomes.push(PullOutcome::NewDeclined);
+                        s.rows.extend_from_slice(&s.payload[..dim]);
+                        s.tags.push(PullOutcome::NewDeclined.code());
                     }
                     guard = RwLockWriteGuard::downgrade_to_upgradable(g);
                 }
@@ -822,17 +859,18 @@ impl PsNode {
         let (boundaries, _, _) = self.boundaries();
         let lanes = plan.partition(self.cfg.parallelism);
 
-        let run_lane = |range: &Range<usize>| -> PullLane {
-            let mut lane = PullLane {
-                weights: Vec::with_capacity(plan.total_uniques * dim),
-                outcomes: Vec::new(),
-                cost: Cost::new(),
-            };
-            let mut scratch = vec![0f32; self.cfg.payload_f32s()];
-            for group in &plan.groups[range.clone()] {
-                self.pull_group(group, batch, &boundaries, &mut lane, &mut scratch);
+        let payload_f32s = self.cfg.payload_f32s();
+        let run_lane = |range: &Range<usize>| {
+            let mut scratch = self.scratch.acquire(Shape::lane(payload_f32s));
+            let mut cost = Cost::new();
+            {
+                let s = &mut *scratch;
+                s.payload.resize(payload_f32s, 0.0);
+                for group in &plan.groups[range.clone()] {
+                    self.pull_group(group, batch, &boundaries, s, &mut cost);
+                }
             }
-            lane
+            PullLane { scratch, cost }
         };
         let lane_results: Vec<PullLane> = if lanes.len() <= 1 {
             lanes.iter().map(run_lane).collect()
@@ -868,13 +906,13 @@ impl PsNode {
             let mut ul = 0; // unique cursor within the lane
             for group in &plan.groups[range.clone()] {
                 for (ui, &key) in group.uniques.iter().enumerate() {
-                    let w = &lane.weights[ul * dim..(ul + 1) * dim];
+                    let w = &lane.scratch.rows[ul * dim..(ul + 1) * dim];
                     let cnt = group.occs[ui].len() as u64;
                     for &pos in &group.occs[ui] {
                         let dst = base + pos as usize * dim;
                         out[dst..dst + dim].copy_from_slice(w);
                     }
-                    match lane.outcomes[ul] {
+                    match PullOutcome::from_code(lane.scratch.tags[ul]) {
                         PullOutcome::Hit => EngineStats::add(&self.stats.hits, cnt),
                         PullOutcome::Miss => EngineStats::add(&self.stats.misses, cnt),
                         PullOutcome::NewAdmitted => {
@@ -942,8 +980,51 @@ impl PsNode {
         }
     }
 
+    /// Apply one batched optimizer kernel over the pending run of
+    /// contiguous PMem-resident uniques gathered in `s` (payload rows in
+    /// `s.rows`, one effective gradient row each in `s.grad_rows`,
+    /// unique indices in `s.run`), then flush the rows in original
+    /// unique order. The run only ever reorders PMem *reads* ahead of
+    /// flushes; reads are not persistence events, so the recovery
+    /// protocol's event stream is identical to the one-key-at-a-time
+    /// path. All virtual cost was charged at gather time.
+    fn flush_pmem_run(
+        &self,
+        g: &mut Shard,
+        group: &ShardGroup,
+        batch: BatchId,
+        boundaries: &[BatchId],
+        s: &mut Scratch,
+        cost: &mut Cost,
+    ) {
+        let n = s.run.len();
+        if n == 0 {
+            return;
+        }
+        let dim = self.cfg.dim;
+        let stride = self.cfg.payload_f32s();
+        self.opt
+            .apply_batch(dim, &mut s.rows, &s.grad_rows, n)
+            .expect("run buffers are sized by construction");
+        for (j, &ui) in s.run.iter().enumerate() {
+            let key = group.uniques[ui as usize];
+            let row = &s.rows[j * stride..(j + 1) * stride];
+            let e = g.index.get_mut(key).expect("indexed");
+            self.flush_payload(key, batch, row, &mut e.chain, boundaries, cost);
+            let (newest, _) = e.chain.newest().expect("just flushed");
+            e.loc = TaggedLoc::pmem(newest);
+            e.version = batch;
+        }
+        s.run.clear();
+        s.rows.clear();
+        s.grad_rows.clear();
+    }
+
     /// Execute one shard group of a planned push under a single write
-    /// lock acquisition.
+    /// lock acquisition. Contiguous runs of PMem-resident uniques are
+    /// read up front and updated by one multi-row optimizer kernel
+    /// ([`Optimizer::apply_batch`]); DRAM-resident keys apply in place
+    /// and act as run boundaries so per-key flush order is unchanged.
     #[allow(clippy::too_many_arguments)]
     fn push_group(
         &self,
@@ -952,18 +1033,23 @@ impl PsNode {
         batch: BatchId,
         boundaries: &[BatchId],
         protect_max: BatchId,
-        scratch: &mut [f32],
-        gsum: &mut [f32],
+        s: &mut Scratch,
         cost: &mut Cost,
     ) {
+        let dim = self.cfg.dim;
+        let stride = self.cfg.payload_f32s();
         cost.charge(CostKind::Cpu, SHARD_LOCK_NS);
         let mut g = self.shards[group.shard].write();
+        debug_assert!(s.run.is_empty() && s.rows.is_empty() && s.grad_rows.is_empty());
         for (ui, &key) in group.uniques.iter().enumerate() {
             cost.charge(CostKind::Cpu, HASH_PROBE_NS);
             let occs = &group.occs[ui];
             let loc = g.index.get(key).expect("pushed key must exist").loc;
             match loc.as_dram() {
                 Some(slot) => {
+                    // A DRAM-resident key bounds the pending PMem run:
+                    // settle it first so flushes stay in unique order.
+                    self.flush_pmem_run(&mut g, group, batch, boundaries, s, cost);
                     let v = g.arena.version(slot);
                     let Shard { index, arena, .. } = &mut *g;
                     let e = index.get_mut(key).expect("indexed");
@@ -979,27 +1065,58 @@ impl PsNode {
                     }
                     arena.set_version(slot, batch);
                     e.version = batch;
-                    self.apply_occurrences(arena.payload_mut(slot), grads, occs, gsum, cost);
+                    self.apply_occurrences(arena.payload_mut(slot), grads, occs, &mut s.acc, cost);
                     arena.set_dirty(slot, true);
                 }
                 None => {
-                    // PMem-resident: one RMW for all occurrences — read
-                    // once, apply all, flush once.
+                    // PMem-resident: read now, join the batched run. The
+                    // row's effective gradient lands in `s.grad_rows`;
+                    // stateful duplicates apply all but their last
+                    // occurrence in order here, so every run row takes
+                    // exactly one kernel step. Charges mirror
+                    // `apply_occurrences` exactly.
                     let pm_slot = loc.as_pmem().expect("tagged loc");
+                    let j = s.run.len();
+                    s.rows.resize((j + 1) * stride, 0.0);
+                    s.grad_rows.resize((j + 1) * dim, 0.0);
+                    let row = &mut s.rows[j * stride..(j + 1) * stride];
+                    let grow = &mut s.grad_rows[j * dim..(j + 1) * dim];
                     self.pool
-                        .read_slot(pm_slot, scratch, cost)
+                        .read_slot(pm_slot, row, cost)
                         .expect("indexed slot valid");
-                    self.apply_occurrences(scratch, grads, occs, gsum, cost);
-                    let Shard { index, .. } = &mut *g;
-                    let e = index.get_mut(key).expect("indexed");
-                    self.flush_payload(key, batch, scratch, &mut e.chain, boundaries, cost);
-                    let (newest, _) = e.chain.newest().expect("just flushed");
-                    e.loc = TaggedLoc::pmem(newest);
-                    e.version = batch;
+                    let grad_at = |pos: u32| {
+                        let p = pos as usize;
+                        &grads[p * dim..(p + 1) * dim]
+                    };
+                    let row_write = self.dram.write_ns((dim * 4) as u64);
+                    if self.opt.coalescible() && occs.len() > 1 {
+                        grow.copy_from_slice(grad_at(occs[0]));
+                        for &pos in &occs[1..] {
+                            for (sg, gv) in grow.iter_mut().zip(grad_at(pos)) {
+                                *sg += gv;
+                            }
+                        }
+                        cost.charge(
+                            CostKind::Cpu,
+                            occs.len() as u64 * dim as u64 * OPT_FLOP_NS_PER_F32,
+                        );
+                        cost.charge(CostKind::DramTransfer, row_write);
+                    } else {
+                        for &pos in &occs[..occs.len() - 1] {
+                            cost.charge(CostKind::Cpu, dim as u64 * OPT_FLOP_NS_PER_F32);
+                            cost.charge(CostKind::DramTransfer, row_write);
+                            self.opt.apply(dim, row, grad_at(pos));
+                        }
+                        grow.copy_from_slice(grad_at(occs[occs.len() - 1]));
+                        cost.charge(CostKind::Cpu, dim as u64 * OPT_FLOP_NS_PER_F32);
+                        cost.charge(CostKind::DramTransfer, row_write);
+                    }
+                    s.run.push(ui as u32);
                 }
             }
             EngineStats::add(&self.stats.pushes, occs.len() as u64);
         }
+        self.flush_pmem_run(&mut g, group, batch, boundaries, s, cost);
     }
 
     /// Shard-plan push: bucket → dedup → parallel lane execute. Final
@@ -1012,21 +1129,14 @@ impl PsNode {
         let (boundaries, _, protect_max) = self.boundaries();
         let lanes = plan.partition(self.cfg.parallelism);
 
+        let payload_f32s = self.cfg.payload_f32s();
         let run_lane = |range: &Range<usize>| -> Cost {
             let mut lcost = Cost::new();
-            let mut scratch = vec![0f32; self.cfg.payload_f32s()];
-            let mut gsum = vec![0f32; dim];
+            let mut scratch = self.scratch.acquire(Shape::lane(payload_f32s));
+            let s = &mut *scratch;
+            s.acc.resize(dim, 0.0);
             for group in &plan.groups[range.clone()] {
-                self.push_group(
-                    group,
-                    grads,
-                    batch,
-                    &boundaries,
-                    protect_max,
-                    &mut scratch,
-                    &mut gsum,
-                    &mut lcost,
-                );
+                self.push_group(group, grads, batch, &boundaries, protect_max, s, &mut lcost);
             }
             lcost
         };

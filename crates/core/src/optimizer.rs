@@ -9,8 +9,26 @@
 //! - SGD: empty,
 //! - AdaGrad: `dim` accumulator values,
 //! - Adam: `dim` first moments, `dim` second moments, 1 step counter.
+//!
+//! # Kernel layout
+//!
+//! The applies are written as explicit `chunks_exact(KERNEL_LANES)`
+//! loops plus a scalar remainder, the shape LLVM reliably turns into
+//! SIMD (the fixed-width inner loop has no bounds checks and no
+//! cross-iteration dependence). No fma intrinsics: every per-element
+//! operation is the *same* correctly-rounded IEEE op the scalar
+//! reference performs, in the same order, so the vectorized kernels are
+//! bit-identical to [`Optimizer::apply_reference`] — the property the
+//! `kernel_equiv` sweep and the `parallel_equiv` suite pin down.
+//! [`Optimizer::apply_batch`] runs one kernel over `rows` contiguous
+//! payload/gradient rows so a coalesced shard group amortizes dispatch
+//! (and, for stateless SGD, collapses to a single flat kernel over the
+//! whole run).
 
 use serde::Serialize;
+
+/// SIMD-friendly inner-loop width (f32 lanes per unrolled step).
+pub const KERNEL_LANES: usize = 8;
 
 /// Optimizer selection + hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -51,9 +69,22 @@ impl OptimizerKind {
         }
     }
 
-    /// Build the stateless applier.
+    /// Build the stateless applier (vectorized kernels).
     pub fn build(self) -> Optimizer {
-        Optimizer { kind: self }
+        Optimizer {
+            kind: self,
+            scalar: false,
+        }
+    }
+
+    /// Build an applier pinned to the scalar reference loops. Kept as
+    /// the A/B baseline for the `kernels` bench and the bit-identity
+    /// sweep; produces exactly the same bits as [`Self::build`].
+    pub fn build_scalar(self) -> Optimizer {
+        Optimizer {
+            kind: self,
+            scalar: true,
+        }
     }
 
     /// True if the update is *linear in the gradient*, so duplicate
@@ -67,10 +98,39 @@ impl OptimizerKind {
     }
 }
 
+/// A gradient/payload length mismatch caught before any element is
+/// touched. Carried as a structured error (not a `debug_assert`) so a
+/// short gradient can never silently update a prefix of the row and
+/// leave stale state behind in release builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Embedding dimension the apply was issued for.
+    pub dim: usize,
+    /// Gradient f32s actually supplied (wanted `dim` per row).
+    pub grad_len: usize,
+    /// Payload f32s actually supplied.
+    pub payload_len: usize,
+    /// Payload f32s the optimizer's state layout requires per row.
+    pub payload_expected: usize,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "optimizer shape mismatch: dim {} wants grad {} and payload {}, got grad {} and payload {}",
+            self.dim, self.dim, self.payload_expected, self.grad_len, self.payload_len
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
 /// Applies gradients to an entry payload in place.
 #[derive(Debug, Clone, Copy)]
 pub struct Optimizer {
     kind: OptimizerKind,
+    scalar: bool,
 }
 
 impl Optimizer {
@@ -84,11 +144,98 @@ impl Optimizer {
         self.kind.coalescible()
     }
 
+    fn check(&self, dim: usize, payload_len: usize, grad_len: usize) -> Result<(), ShapeError> {
+        let payload_expected = dim + self.kind.state_f32s(dim);
+        if grad_len != dim || payload_len != payload_expected {
+            return Err(ShapeError {
+                dim,
+                grad_len,
+                payload_len,
+                payload_expected,
+            });
+        }
+        Ok(())
+    }
+
     /// Apply gradient `grad` (length `dim`) to `payload`
     /// (length `dim + state_f32s(dim)`), updating weights and state.
+    /// Panics on a length mismatch; use [`Self::try_apply`] to handle
+    /// malformed shapes (e.g. straight off the wire) structurally.
     pub fn apply(&self, dim: usize, payload: &mut [f32], grad: &[f32]) {
-        debug_assert_eq!(grad.len(), dim);
-        debug_assert_eq!(payload.len(), dim + self.kind.state_f32s(dim));
+        if let Err(e) = self.try_apply(dim, payload, grad) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked apply: verifies both lengths *before* touching any
+    /// element, so a bad shape leaves the payload untouched.
+    pub fn try_apply(
+        &self,
+        dim: usize,
+        payload: &mut [f32],
+        grad: &[f32],
+    ) -> Result<(), ShapeError> {
+        self.check(dim, payload.len(), grad.len())?;
+        if self.scalar {
+            self.row_scalar(dim, payload, grad);
+        } else {
+            self.row_vectorized(dim, payload, grad);
+        }
+        Ok(())
+    }
+
+    /// One kernel over `rows` contiguous rows: `payloads` is `rows`
+    /// payload rows back to back (`stride` f32s each, where
+    /// `stride = dim + state_f32s(dim)`) and `grads` is `rows` gradient
+    /// rows (`dim` f32s each). Bit-identical to applying each row
+    /// separately; for stateless SGD the whole run collapses into a
+    /// single flat kernel because payload rows are exactly weight rows.
+    pub fn apply_batch(
+        &self,
+        dim: usize,
+        payloads: &mut [f32],
+        grads: &[f32],
+        rows: usize,
+    ) -> Result<(), ShapeError> {
+        let stride = dim + self.kind.state_f32s(dim);
+        if payloads.len() != rows * stride || grads.len() != rows * dim {
+            return Err(ShapeError {
+                dim,
+                grad_len: grads.len(),
+                payload_len: payloads.len(),
+                payload_expected: rows * stride,
+            });
+        }
+        if let (OptimizerKind::Sgd { lr }, false) = (self.kind, self.scalar) {
+            // stride == dim: the run is one contiguous weight/grad pair.
+            sgd_kernel(lr, payloads, grads);
+            return Ok(());
+        }
+        for (p, g) in payloads
+            .chunks_exact_mut(stride)
+            .zip(grads.chunks_exact(dim))
+        {
+            if self.scalar {
+                self.row_scalar(dim, p, g);
+            } else {
+                self.row_vectorized(dim, p, g);
+            }
+        }
+        Ok(())
+    }
+
+    /// The scalar reference implementation: one element at a time,
+    /// exactly the ops of the vectorized kernels in the same order.
+    /// Kept public as the ground truth for the bit-identity sweep and
+    /// the scalar arm of the `kernels`/`pullpush` benches.
+    pub fn apply_reference(&self, dim: usize, payload: &mut [f32], grad: &[f32]) {
+        if let Err(e) = self.check(dim, payload.len(), grad.len()) {
+            panic!("{e}");
+        }
+        self.row_scalar(dim, payload, grad);
+    }
+
+    fn row_scalar(&self, dim: usize, payload: &mut [f32], grad: &[f32]) {
         match self.kind {
             OptimizerKind::Sgd { lr } => {
                 let (w, _) = payload.split_at_mut(dim);
@@ -127,6 +274,124 @@ impl Optimizer {
                 }
             }
         }
+    }
+
+    fn row_vectorized(&self, dim: usize, payload: &mut [f32], grad: &[f32]) {
+        match self.kind {
+            OptimizerKind::Sgd { lr } => {
+                let (w, _) = payload.split_at_mut(dim);
+                sgd_kernel(lr, w, grad);
+            }
+            OptimizerKind::Adagrad { lr, eps } => {
+                let (w, acc) = payload.split_at_mut(dim);
+                adagrad_kernel(lr, eps, w, acc, grad);
+            }
+            OptimizerKind::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let (w, state) = payload.split_at_mut(dim);
+                let (m, rest) = state.split_at_mut(dim);
+                let (v, t_slot) = rest.split_at_mut(dim);
+                let t = t_slot[0] + 1.0;
+                t_slot[0] = t;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                adam_kernel(lr, beta1, beta2, eps, bc1, bc2, w, m, v, grad);
+            }
+        }
+    }
+}
+
+/// `w -= lr * g`, `KERNEL_LANES` elements per unrolled step.
+fn sgd_kernel(lr: f32, w: &mut [f32], g: &[f32]) {
+    let mut wc = w.chunks_exact_mut(KERNEL_LANES);
+    let mut gc = g.chunks_exact(KERNEL_LANES);
+    for (wv, gv) in wc.by_ref().zip(gc.by_ref()) {
+        for l in 0..KERNEL_LANES {
+            wv[l] -= lr * gv[l];
+        }
+    }
+    for (wv, gv) in wc.into_remainder().iter_mut().zip(gc.remainder()) {
+        *wv -= lr * gv;
+    }
+}
+
+/// `acc += g²; w -= lr * g / (√acc + eps)` over lanes. `sqrt`/`div` are
+/// correctly-rounded IEEE ops, so SIMD lanes equal the scalar loop bit
+/// for bit.
+fn adagrad_kernel(lr: f32, eps: f32, w: &mut [f32], acc: &mut [f32], g: &[f32]) {
+    let mut wc = w.chunks_exact_mut(KERNEL_LANES);
+    let mut ac = acc.chunks_exact_mut(KERNEL_LANES);
+    let mut gc = g.chunks_exact(KERNEL_LANES);
+    for ((wv, av), gv) in wc.by_ref().zip(ac.by_ref()).zip(gc.by_ref()) {
+        for l in 0..KERNEL_LANES {
+            let g = gv[l];
+            av[l] += g * g;
+            wv[l] -= lr * g / (av[l].sqrt() + eps);
+        }
+    }
+    for ((wv, av), gv) in wc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.into_remainder().iter_mut())
+        .zip(gc.remainder())
+    {
+        let g = *gv;
+        *av += g * g;
+        *wv -= lr * g / (av.sqrt() + eps);
+    }
+}
+
+/// Adam inner loop with the bias corrections precomputed per row (the
+/// `powf` runs once per apply in both the scalar and vector paths).
+#[allow(clippy::too_many_arguments)]
+fn adam_kernel(
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+    w: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+) {
+    let mut wc = w.chunks_exact_mut(KERNEL_LANES);
+    let mut mc = m.chunks_exact_mut(KERNEL_LANES);
+    let mut vc = v.chunks_exact_mut(KERNEL_LANES);
+    let mut gc = g.chunks_exact(KERNEL_LANES);
+    for (((wv, mv), vv), gv) in wc
+        .by_ref()
+        .zip(mc.by_ref())
+        .zip(vc.by_ref())
+        .zip(gc.by_ref())
+    {
+        for l in 0..KERNEL_LANES {
+            let g = gv[l];
+            mv[l] = beta1 * mv[l] + (1.0 - beta1) * g;
+            vv[l] = beta2 * vv[l] + (1.0 - beta2) * g * g;
+            let m_hat = mv[l] / bc1;
+            let v_hat = vv[l] / bc2;
+            wv[l] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+    for (((wv, mv), vv), gv) in wc
+        .into_remainder()
+        .iter_mut()
+        .zip(mc.into_remainder().iter_mut())
+        .zip(vc.into_remainder().iter_mut())
+        .zip(gc.remainder())
+    {
+        let g = *gv;
+        *mv = beta1 * *mv + (1.0 - beta1) * g;
+        *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+        let m_hat = *mv / bc1;
+        let v_hat = *vv / bc2;
+        *wv -= lr * m_hat / (v_hat.sqrt() + eps);
     }
 }
 
@@ -249,5 +514,79 @@ mod tests {
                 p[0]
             );
         }
+    }
+
+    #[test]
+    fn short_gradient_is_a_structured_error_and_leaves_state_untouched() {
+        for kind in [
+            OptimizerKind::Sgd { lr: 0.1 },
+            OptimizerKind::Adagrad { lr: 0.1, eps: 1e-8 },
+            OptimizerKind::Adam {
+                lr: 0.1,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+        ] {
+            let opt = kind.build();
+            let dim = 4;
+            let before: Vec<f32> = (0..dim + kind.state_f32s(dim))
+                .map(|i| i as f32 * 0.5)
+                .collect();
+            let mut p = before.clone();
+            let err = opt
+                .try_apply(dim, &mut p, &[1.0, 2.0]) // short gradient
+                .expect_err("short gradient must not apply");
+            assert_eq!(err.dim, dim);
+            assert_eq!(err.grad_len, 2);
+            assert_eq!(p, before, "{kind:?}: no element may move on a bad shape");
+            // Payload length mismatches are caught the same way.
+            let mut short_payload = vec![0.0f32; dim];
+            if kind.state_f32s(dim) > 0 {
+                opt.try_apply(dim, &mut short_payload, &[1.0; 4])
+                    .expect_err("short payload must not apply");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_apply_matches_per_row() {
+        for kind in [
+            OptimizerKind::Sgd { lr: 0.1 },
+            OptimizerKind::Adagrad { lr: 0.1, eps: 1e-8 },
+            OptimizerKind::Adam {
+                lr: 0.01,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+        ] {
+            let opt = kind.build();
+            let dim = 5; // odd: exercises the remainder path
+            let stride = dim + kind.state_f32s(dim);
+            let rows = 3;
+            let mut batch: Vec<f32> = (0..rows * stride).map(|i| (i as f32).sin()).collect();
+            let grads: Vec<f32> = (0..rows * dim).map(|i| (i as f32).cos()).collect();
+            let mut per_row = batch.clone();
+            for r in 0..rows {
+                opt.apply(
+                    dim,
+                    &mut per_row[r * stride..(r + 1) * stride],
+                    &grads[r * dim..(r + 1) * dim],
+                );
+            }
+            opt.apply_batch(dim, &mut batch, &grads, rows).unwrap();
+            let a: Vec<u32> = batch.iter().map(|f| f.to_bits()).collect();
+            let b: Vec<u32> = per_row.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(a, b, "{kind:?}: batched kernel must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn batch_apply_rejects_bad_shapes() {
+        let opt = OptimizerKind::Sgd { lr: 0.1 }.build();
+        let mut p = vec![0.0f32; 8];
+        assert!(opt.apply_batch(4, &mut p, &[0.0; 7], 2).is_err());
+        assert!(opt.apply_batch(4, &mut p[..7], &[0.0; 8], 2).is_err());
     }
 }

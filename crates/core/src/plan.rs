@@ -78,13 +78,29 @@ impl ShardBuckets {
     /// Stage 1: bucket `keys` by shard. `shard_of` must be a pure
     /// function of the key.
     pub fn bucket(keys: &[Key], shards: usize, shard_of: impl Fn(Key) -> usize) -> Self {
+        Self::bucket_from(keys.iter().copied(), shards, shard_of)
+    }
+
+    /// Stage 1 over any key producer: scatter keys straight into shard
+    /// buckets without requiring a materialized slice. This is the
+    /// zero-copy entry point — a borrowed wire view (e.g.
+    /// `oe_net::codec` key slices over the frame bytes) can feed the
+    /// plan directly, so the only copy a request's keys ever take is
+    /// wire → per-shard scratch.
+    pub fn bucket_from(
+        keys: impl Iterator<Item = Key>,
+        shards: usize,
+        shard_of: impl Fn(Key) -> usize,
+    ) -> Self {
         let mut buckets: Vec<Vec<(u32, Key)>> = vec![Vec::new(); shards];
-        for (pos, &key) in keys.iter().enumerate() {
+        let mut total_keys = 0usize;
+        for (pos, key) in keys.enumerate() {
             buckets[shard_of(key)].push((pos as u32, key));
+            total_keys += 1;
         }
         Self {
             buckets,
-            total_keys: keys.len(),
+            total_keys,
         }
     }
 
@@ -249,6 +265,20 @@ mod tests {
         let ranges = p.partition(4);
         assert_eq!(ranges.len(), 4);
         assert_eq!(ranges[0], 0..1, "hot shard gets its own lane");
+    }
+
+    #[test]
+    fn bucket_from_iterator_matches_slice_bucketing() {
+        let keys = [4u64, 7, 2, 4, 2, 7, 4, 9, 0];
+        let a = ShardBuckets::bucket(&keys, 3, |k| (k % 3) as usize).coalesce();
+        let b = ShardBuckets::bucket_from(keys.iter().copied(), 3, |k| (k % 3) as usize).coalesce();
+        assert_eq!(a.total_keys, b.total_keys);
+        assert_eq!(a.total_uniques, b.total_uniques);
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.shard, gb.shard);
+            assert_eq!(ga.uniques, gb.uniques);
+            assert_eq!(ga.occs, gb.occs);
+        }
     }
 
     #[test]

@@ -36,11 +36,12 @@
 //! paper's 30 Gb intranet model.
 
 use crate::api::PsClient;
-use crate::codec::{Frame, Packet, Request, Response};
+use crate::codec::{validate_frame, Frame, FrameMeta, Packet, Request, Response, ResponseView};
 use crate::config::NetConfig;
 use crate::error::{Error, ErrorKind};
 use crate::failover::{FailoverEvent, Standby};
 use crate::transport::Transport;
+use bytes::Bytes;
 use oe_core::engine::{MaintenanceReport, PsEngine};
 use oe_core::stats::StatsSnapshot;
 use oe_core::{BatchId, Key};
@@ -241,10 +242,32 @@ impl RemotePs {
 
     /// One logical RPC: fresh idempotence token, deadline per attempt,
     /// retry with backoff on retryable failures (same token each time),
-    /// failover on a dead primary.
+    /// failover on a dead primary. The owned-decode path for every
+    /// request outside the pull/push hot loop.
     fn call_result(&self, req: Request, cost: &mut Cost) -> Result<Response, Error> {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let frame = Packet::request(self.client_id, seq, req).encode();
+        let (_, reply) = self.call_raw(seq, frame, cost)?;
+        match Packet::decode(reply)?.frame {
+            Frame::Response(r) => Ok(r),
+            // Unreachable: `call_raw` already rejected request-typed
+            // replies; kept so the match stays total.
+            Frame::Request(_) => Err(Error::corrupt("server sent a request")),
+        }
+    }
+
+    /// The retry loop shared by owned and zero-copy RPCs: send `frame`
+    /// (its token already minted as `seq`), validate each reply frame,
+    /// surface structured error replies, and hand the validated bytes
+    /// back for the caller to decode — owned or borrowed. Retries
+    /// resend the identical bytes, so the server's replay cache sees a
+    /// byte-identical token on every attempt.
+    fn call_raw(
+        &self,
+        seq: u64,
+        frame: Bytes,
+        cost: &mut Cost,
+    ) -> Result<(FrameMeta, Bytes), Error> {
         let birth_gen = self.transport_gen.load(Ordering::Acquire);
         let mut attempt = 0u32;
         loop {
@@ -270,33 +293,37 @@ impl RemotePs {
             let outcome = match transport.call(frame.clone(), self.cfg.deadline) {
                 Ok(reply) => {
                     self.cfg.charge.charge(frame.len() + reply.len(), cost);
-                    match Packet::decode(reply) {
-                        Ok(pkt) => match pkt.frame {
-                            // A structured error reply is ours even when
-                            // the token is (0,0): the server could not
-                            // attribute a corrupted request, but the
-                            // per-call reply channel ties it to us.
-                            Frame::Response(Response::Error { kind, message }) => {
-                                Err(Error::new(kind, message))
+                    match validate_frame(&reply) {
+                        // A structured error reply is ours even when
+                        // the token is (0,0): the server could not
+                        // attribute a corrupted request, but the
+                        // per-call reply channel ties it to us.
+                        Ok(meta) if meta.msg_type == 0x8F => {
+                            match ResponseView::decode(meta, &reply) {
+                                Ok(ResponseView::Other(Response::Error { kind, message })) => {
+                                    Err(Error::new(kind, message))
+                                }
+                                Ok(_) => Err(Error::corrupt("malformed error frame")),
+                                Err(e) => Err(e),
                             }
-                            Frame::Response(r)
-                                if pkt.client == self.client_id && pkt.seq == seq =>
-                            {
-                                Ok(r)
-                            }
-                            Frame::Response(_) => Err(Error::corrupt(format!(
-                                "response token ({}, {}) does not match request ({}, {seq})",
-                                pkt.client, pkt.seq, self.client_id
-                            ))),
-                            Frame::Request(_) => Err(Error::corrupt("server sent a request")),
-                        },
+                        }
+                        Ok(meta) if meta.msg_type < 0x80 => {
+                            Err(Error::corrupt("server sent a request"))
+                        }
+                        Ok(meta) if meta.client == self.client_id && meta.seq == seq => {
+                            Ok((meta, reply))
+                        }
+                        Ok(meta) => Err(Error::corrupt(format!(
+                            "response token ({}, {}) does not match request ({}, {seq})",
+                            meta.client, meta.seq, self.client_id
+                        ))),
                         Err(e) => Err(e),
                     }
                 }
                 Err(e) => Err(e),
             };
             let err = match outcome {
-                Ok(resp) => return Ok(resp),
+                Ok(reply) => return Ok(reply),
                 Err(err) => err,
             };
             match err.kind() {
@@ -369,6 +396,54 @@ impl RemotePs {
             Err(e) => panic!("PS RPC failed: {e}"),
         }
     }
+
+    /// Zero-copy pull: borrow-encode the key burst straight from the
+    /// caller's slice (no owned `Request` materialized), view-decode
+    /// the weights reply, and append the weights directly into `out`.
+    fn pull_impl(
+        &self,
+        keys: &[Key],
+        batch: BatchId,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.placement_epoch.load(Ordering::Relaxed);
+        let frame = Packet::encode_pull(self.client_id, seq, epoch, batch, keys);
+        let (meta, reply) = self.call_raw(seq, frame, cost)?;
+        match ResponseView::decode(meta, &reply)? {
+            ResponseView::Weights { weights, cost: c } => {
+                cost.merge(&c);
+                weights.extend_into(out);
+                Ok(())
+            }
+            ResponseView::Other(other) => {
+                Err(Error::rejected(format!("pull: unexpected {other:?}")))
+            }
+        }
+    }
+
+    /// Zero-copy push: borrow-encode the key/gradient burst straight
+    /// from the caller's slices.
+    fn push_impl(
+        &self,
+        keys: &[Key],
+        grads: &[f32],
+        batch: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.placement_epoch.load(Ordering::Relaxed);
+        let frame = Packet::encode_push(self.client_id, seq, epoch, batch, keys, grads);
+        let (meta, reply) = self.call_raw(seq, frame, cost)?;
+        match ResponseView::decode(meta, &reply)? {
+            ResponseView::Other(Response::Ack { cost: c }) => {
+                cost.merge(&c);
+                Ok(())
+            }
+            other => Err(Error::rejected(format!("push: unexpected {other:?}"))),
+        }
+    }
 }
 
 impl PsEngine for RemotePs {
@@ -381,20 +456,8 @@ impl PsEngine for RemotePs {
     }
 
     fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
-        let resp = self.call(
-            Request::Pull {
-                epoch: self.placement_epoch.load(Ordering::Relaxed),
-                batch,
-                keys: keys.to_vec(),
-            },
-            cost,
-        );
-        match resp {
-            Response::Weights { weights, cost: c } => {
-                cost.merge(&c);
-                out.extend_from_slice(&weights);
-            }
-            other => panic!("pull: unexpected {other:?}"),
+        if let Err(e) = self.pull_impl(keys, batch, out, cost) {
+            panic!("PS RPC failed: {e}");
         }
     }
 
@@ -419,18 +482,8 @@ impl PsEngine for RemotePs {
     }
 
     fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
-        let resp = self.call(
-            Request::Push {
-                epoch: self.placement_epoch.load(Ordering::Relaxed),
-                batch,
-                keys: keys.to_vec(),
-                grads: grads.to_vec(),
-            },
-            cost,
-        );
-        match resp {
-            Response::Ack { cost: c } => cost.merge(&c),
-            other => panic!("push: unexpected {other:?}"),
+        if let Err(e) = self.push_impl(keys, grads, batch, cost) {
+            panic!("PS RPC failed: {e}");
         }
     }
 
@@ -539,21 +592,7 @@ impl PsClient for RemotePs {
         out: &mut Vec<f32>,
         cost: &mut Cost,
     ) -> Result<(), Error> {
-        match self.call_result(
-            Request::Pull {
-                epoch: self.placement_epoch.load(Ordering::Relaxed),
-                batch,
-                keys: keys.to_vec(),
-            },
-            cost,
-        )? {
-            Response::Weights { weights, cost: c } => {
-                cost.merge(&c);
-                out.extend_from_slice(&weights);
-                Ok(())
-            }
-            other => Err(Error::rejected(format!("pull: unexpected {other:?}"))),
-        }
+        self.pull_impl(keys, batch, out, cost)
     }
 
     fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error> {
@@ -584,21 +623,7 @@ impl PsClient for RemotePs {
         batch: BatchId,
         cost: &mut Cost,
     ) -> Result<(), Error> {
-        match self.call_result(
-            Request::Push {
-                epoch: self.placement_epoch.load(Ordering::Relaxed),
-                batch,
-                keys: keys.to_vec(),
-                grads: grads.to_vec(),
-            },
-            cost,
-        )? {
-            Response::Ack { cost: c } => {
-                cost.merge(&c);
-                Ok(())
-            }
-            other => Err(Error::rejected(format!("push: unexpected {other:?}"))),
-        }
+        self.push_impl(keys, grads, batch, cost)
     }
 
     fn checkpoint(&self, batch: BatchId) -> Result<Cost, Error> {
@@ -857,7 +882,6 @@ mod tests {
     #[test]
     fn kill_between_send_and_ack_never_double_applies() {
         use crate::failover::CheckpointReplica;
-        use bytes::Bytes;
         use std::sync::atomic::AtomicBool;
         use std::sync::mpsc;
         use std::time::Duration;

@@ -298,6 +298,9 @@ fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, Error> {
     Ok((0..n).map(|_| buf.get_f32_le()).collect())
 }
 
+/// Wire size of a [`Cost`]: 7 ns counters + 7 op counters, 8 bytes each.
+const COST_WIRE_LEN: usize = 14 * 8;
+
 fn put_cost(buf: &mut BytesMut, cost: &Cost) {
     let (ns, ops) = cost.raw_parts();
     for v in ns {
@@ -380,6 +383,51 @@ impl Frame {
                 Response::Metrics(_) => 0x89,
                 Response::Entry(_) => 0x8A,
                 Response::Error { .. } => 0x8F,
+            },
+        }
+    }
+
+    /// Exact encoded body size in bytes. Kept in lockstep with
+    /// [`Frame::encode_body`] (asserted by the codec tests) so
+    /// [`Packet::encoded_len`] and encode pre-sizing never re-encode.
+    fn body_len(&self) -> usize {
+        match self {
+            Frame::Request(r) => match r {
+                Request::Pull { keys, .. } => 8 + 8 + 4 + keys.len() * 8,
+                Request::Push { keys, grads, .. } => {
+                    8 + 8 + 4 + keys.len() * 8 + 4 + grads.len() * 4
+                }
+                Request::EndPullPhase { .. }
+                | Request::Checkpoint { .. }
+                | Request::ReadWeights { .. }
+                | Request::SeqFence { .. }
+                | Request::PlacementUpdate { .. }
+                | Request::ExportEntry { .. }
+                | Request::DiscardEntry { .. } => 8,
+                Request::ImportEntry { payload, .. } => 8 + 8 + 4 + payload.len() * 4,
+                Request::Committed
+                | Request::Stats
+                | Request::NumKeys
+                | Request::Hello
+                | Request::Metrics => 0,
+            },
+            Frame::Response(r) => match r {
+                Response::Weights { weights, .. } => 4 + weights.len() * 4 + COST_WIRE_LEN,
+                Response::Ack { .. } => COST_WIRE_LEN,
+                Response::Maintenance { .. } => 8 + 8 + COST_WIRE_LEN,
+                Response::Committed { .. } | Response::Count(_) => 8,
+                Response::Stats(_) => 11 * 8,
+                Response::MaybeWeights(w) => match w {
+                    Some(w) => 1 + 4 + w.len() * 4,
+                    None => 1,
+                },
+                Response::HelloOk { name, .. } => 4 + 4 + name.len(),
+                Response::Metrics(text) => 4 + text.len(),
+                Response::Entry(e) => match e {
+                    Some((_, payload)) => 1 + 8 + 4 + payload.len() * 4,
+                    None => 1,
+                },
+                Response::Error { message, .. } => 1 + 4 + message.len(),
             },
         }
     }
@@ -641,21 +689,85 @@ impl Packet {
         }
     }
 
-    /// Serialize to a wire packet (header + checksum + body).
+    /// Serialize to a wire packet (header + checksum + body). The body
+    /// is encoded directly into the packet buffer — no staging buffer,
+    /// no body copy — and the length/checksum header fields are patched
+    /// in afterwards ([`Packet::seal`]): one allocation, one pass over
+    /// the final bytes for the FNV-1a checksum.
     pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::with_capacity(64);
-        self.frame.encode_body(&mut body);
-        let mut pkt = BytesMut::with_capacity(HEADER_LEN + body.len());
+        let mut pkt = BytesMut::with_capacity(HEADER_LEN + self.frame.body_len());
+        Self::put_header(&mut pkt, self.frame.msg_type(), self.client, self.seq);
+        self.frame.encode_body(&mut pkt);
+        Self::seal(pkt)
+    }
+
+    /// Write the fixed header with zeroed body-length and checksum
+    /// fields; [`Packet::seal`] patches both once the body is in place.
+    fn put_header(pkt: &mut BytesMut, msg_type: u8, client: u32, seq: u64) {
         pkt.put_u16_le(MAGIC);
         pkt.put_u8(VERSION);
-        pkt.put_u8(self.frame.msg_type());
-        pkt.put_u32_le(self.client);
-        pkt.put_u64_le(self.seq);
-        pkt.put_u32_le(body.len() as u32);
-        let checksum = fnv1a(fnv1a(FNV_OFFSET, &pkt[..]), &body);
-        pkt.put_u64_le(checksum);
-        pkt.extend_from_slice(&body);
+        pkt.put_u8(msg_type);
+        pkt.put_u32_le(client);
+        pkt.put_u64_le(seq);
+        pkt.put_u32_le(0); // body length, patched by seal()
+        pkt.put_u64_le(0); // checksum, patched by seal()
+    }
+
+    /// Patch the body length and checksum into a buffer produced by
+    /// [`Packet::put_header`] + body writes, and freeze it.
+    fn seal(mut pkt: BytesMut) -> Bytes {
+        let body_len = (pkt.len() - HEADER_LEN) as u32;
+        pkt[16..20].copy_from_slice(&body_len.to_le_bytes());
+        let checksum = fnv1a(
+            fnv1a(FNV_OFFSET, &pkt[..HEADER_LEN - 8]),
+            &pkt[HEADER_LEN..],
+        );
+        pkt[20..28].copy_from_slice(&checksum.to_le_bytes());
         pkt.freeze()
+    }
+
+    /// Encode a pull request straight from a borrowed key slice —
+    /// byte-identical to wrapping the keys in [`Request::Pull`] and
+    /// calling [`Packet::encode`], without materializing the owned
+    /// vector.
+    pub fn encode_pull(client: u32, seq: u64, epoch: u64, batch: BatchId, keys: &[Key]) -> Bytes {
+        let mut pkt = BytesMut::with_capacity(HEADER_LEN + 20 + keys.len() * 8);
+        Self::put_header(&mut pkt, 0x01, client, seq);
+        pkt.put_u64_le(epoch);
+        pkt.put_u64_le(batch);
+        put_u64s(&mut pkt, keys);
+        Self::seal(pkt)
+    }
+
+    /// Encode a push request straight from borrowed key/gradient slices
+    /// — byte-identical to the owned [`Request::Push`] encoding.
+    pub fn encode_push(
+        client: u32,
+        seq: u64,
+        epoch: u64,
+        batch: BatchId,
+        keys: &[Key],
+        grads: &[f32],
+    ) -> Bytes {
+        let mut pkt = BytesMut::with_capacity(HEADER_LEN + 24 + keys.len() * 8 + grads.len() * 4);
+        Self::put_header(&mut pkt, 0x02, client, seq);
+        pkt.put_u64_le(epoch);
+        pkt.put_u64_le(batch);
+        put_u64s(&mut pkt, keys);
+        put_f32s(&mut pkt, grads);
+        Self::seal(pkt)
+    }
+
+    /// Encode a weights response straight from a borrowed weight slice —
+    /// byte-identical to the owned [`Response::Weights`] encoding. The
+    /// server's pull hot path answers from its reusable output buffer
+    /// without ever constructing an owned response.
+    pub fn encode_weights_response(client: u32, seq: u64, weights: &[f32], cost: &Cost) -> Bytes {
+        let mut pkt = BytesMut::with_capacity(HEADER_LEN + 4 + weights.len() * 4 + COST_WIRE_LEN);
+        Self::put_header(&mut pkt, 0x81, client, seq);
+        put_f32s(&mut pkt, weights);
+        put_cost(&mut pkt, cost);
+        Self::seal(pkt)
     }
 
     /// Parse a wire packet. Any malformed input — truncated header or
@@ -663,40 +775,316 @@ impl Packet {
     /// type — returns a structured [`Error`] of kind `Corrupt`; this
     /// function never panics on arbitrary bytes.
     pub fn decode(buf: Bytes) -> Result<Packet, Error> {
-        if buf.remaining() < HEADER_LEN {
-            return Err(truncated());
-        }
-        let mut hdr = buf.clone();
-        if hdr.get_u16_le() != MAGIC {
-            return Err(Error::corrupt("bad magic"));
-        }
-        let version = hdr.get_u8();
-        if version != VERSION {
-            return Err(Error::corrupt(format!(
-                "protocol version {version}, expected {VERSION}"
-            )));
-        }
-        let msg_type = hdr.get_u8();
-        let client = hdr.get_u32_le();
-        let seq = hdr.get_u64_le();
-        let len = hdr.get_u32_le() as usize;
-        let checksum = hdr.get_u64_le();
-        if hdr.remaining() < len {
-            return Err(truncated());
-        }
-        let body = hdr.split_to(len);
-        let computed = fnv1a(fnv1a(FNV_OFFSET, &buf[..HEADER_LEN - 8]), &body);
-        if computed != checksum {
-            return Err(Error::corrupt("checksum mismatch"));
-        }
-        let mut body_buf = body;
-        let frame = Frame::decode_body(msg_type, &mut body_buf)?;
-        Ok(Packet { client, seq, frame })
+        let meta = validate_frame(&buf)?;
+        let mut body = buf.slice(HEADER_LEN..HEADER_LEN + meta.body_len);
+        let frame = Frame::decode_body(meta.msg_type, &mut body)?;
+        Ok(Packet {
+            client: meta.client,
+            seq: meta.seq,
+            frame,
+        })
     }
 
-    /// Wire size of the encoded packet (for network-cost charging).
+    /// Wire size of the encoded packet (for network-cost charging),
+    /// computed without encoding.
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        HEADER_LEN + self.frame.body_len()
+    }
+}
+
+/// A validated frame header: the idempotence token, message type, and
+/// body extent of a wire packet whose magic, version, length, and
+/// checksum have all been verified. The body is
+/// `buf[HEADER_LEN..HEADER_LEN + body_len]`; borrowed view decoders
+/// ([`RequestView`], [`ResponseView`]) parse it in place.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameMeta {
+    /// Message-type discriminant.
+    pub msg_type: u8,
+    /// Issuing client id from the idempotence token.
+    pub client: u32,
+    /// Per-client sequence number from the idempotence token.
+    pub seq: u64,
+    /// Body length in bytes.
+    pub body_len: usize,
+}
+
+/// Validate a frame's fixed header and checksum without materializing
+/// anything: magic, version, body extent, and the FNV-1a 64 over
+/// header-minus-checksum plus body. This is the single integrity pass
+/// shared by the owned decoder ([`Packet::decode`]) and the borrowed
+/// view decoders.
+pub fn validate_frame(buf: &[u8]) -> Result<FrameMeta, Error> {
+    if buf.len() < HEADER_LEN {
+        return Err(truncated());
+    }
+    if u16::from_le_bytes([buf[0], buf[1]]) != MAGIC {
+        return Err(Error::corrupt("bad magic"));
+    }
+    let version = buf[2];
+    if version != VERSION {
+        return Err(Error::corrupt(format!(
+            "protocol version {version}, expected {VERSION}"
+        )));
+    }
+    let msg_type = buf[3];
+    let client = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let seq = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let body_len = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+    let checksum = u64::from_le_bytes(buf[20..28].try_into().expect("8 bytes"));
+    if buf.len() - HEADER_LEN < body_len {
+        return Err(truncated());
+    }
+    let body = &buf[HEADER_LEN..HEADER_LEN + body_len];
+    let computed = fnv1a(fnv1a(FNV_OFFSET, &buf[..HEADER_LEN - 8]), body);
+    if computed != checksum {
+        return Err(Error::corrupt("checksum mismatch"));
+    }
+    Ok(FrameMeta {
+        msg_type,
+        client,
+        seq,
+        body_len,
+    })
+}
+
+/// A borrowed, length-prefixed vector of little-endian `u64`s viewed
+/// directly over frame bytes — the zero-copy decode of a key list. The
+/// underlying bytes need not be 8-aligned; element access reads via
+/// `from_le_bytes`.
+#[derive(Debug, Clone, Copy)]
+pub struct U64sView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> U64sView<'a> {
+    /// Split a length-prefixed u64 vector off the front of `buf`.
+    fn split(buf: &mut &'a [u8]) -> Result<Self, Error> {
+        if buf.len() < 4 {
+            return Err(truncated());
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+        let total = n.saturating_mul(8);
+        if buf.len() - 4 < total {
+            return Err(truncated());
+        }
+        let (head, rest) = buf[4..].split_at(total);
+        *buf = rest;
+        Ok(Self { bytes: head })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 8
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The `i`-th element; panics if out of range (like slice indexing).
+    pub fn get(&self, i: usize) -> u64 {
+        u64::from_le_bytes(self.bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"))
+    }
+
+    /// Iterate the elements in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = u64> + 'a {
+        self.bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+    }
+
+    /// Append all elements to `out` (the one copy a zero-copy request
+    /// takes: wire bytes → reusable scratch).
+    pub fn extend_into(&self, out: &mut Vec<u64>) {
+        out.reserve(self.len());
+        out.extend(self.iter());
+    }
+}
+
+/// A borrowed, length-prefixed vector of little-endian `f32`s viewed
+/// directly over frame bytes — the zero-copy decode of a gradient or
+/// weight burst.
+#[derive(Debug, Clone, Copy)]
+pub struct F32sView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> F32sView<'a> {
+    /// Split a length-prefixed f32 vector off the front of `buf`.
+    fn split(buf: &mut &'a [u8]) -> Result<Self, Error> {
+        if buf.len() < 4 {
+            return Err(truncated());
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+        let total = n.saturating_mul(4);
+        if buf.len() - 4 < total {
+            return Err(truncated());
+        }
+        let (head, rest) = buf[4..].split_at(total);
+        *buf = rest;
+        Ok(Self { bytes: head })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.bytes.len() / 4
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The `i`-th element; panics if out of range (like slice indexing).
+    pub fn get(&self, i: usize) -> f32 {
+        f32::from_le_bytes(self.bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Iterate the elements in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = f32> + 'a {
+        self.bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+    }
+
+    /// Append all elements to `out`.
+    pub fn extend_into(&self, out: &mut Vec<f32>) {
+        out.reserve(self.len());
+        out.extend(self.iter());
+    }
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, Error> {
+    if buf.len() < 8 {
+        return Err(truncated());
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"));
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+/// A request decoded in place over a validated frame: the hot-path
+/// bursts (`Pull`, `Push`) keep their key and gradient vectors as
+/// borrowed views over the frame bytes; every other request falls back
+/// to the owned decoder (they are small and rare).
+#[derive(Debug)]
+pub enum RequestView<'a> {
+    /// Pull burst; `keys` borrows the frame.
+    Pull {
+        /// Placement epoch the client routed under.
+        epoch: u64,
+        /// Batch about to train.
+        batch: BatchId,
+        /// Keys to fetch, viewed over the frame bytes.
+        keys: U64sView<'a>,
+    },
+    /// Push burst; `keys` and `grads` borrow the frame.
+    Push {
+        /// Placement epoch the client routed under.
+        epoch: u64,
+        /// Batch that produced the gradients.
+        batch: BatchId,
+        /// Updated keys, viewed over the frame bytes.
+        keys: U64sView<'a>,
+        /// Gradient values, viewed over the frame bytes.
+        grads: F32sView<'a>,
+    },
+    /// Any other request, decoded as owned data.
+    Other(Request),
+}
+
+impl<'a> RequestView<'a> {
+    /// Decode the body of a validated request frame. `buf` must be the
+    /// same buffer `meta` was validated from.
+    pub fn decode(meta: FrameMeta, buf: &'a Bytes) -> Result<Self, Error> {
+        let mut body: &[u8] = &buf[HEADER_LEN..HEADER_LEN + meta.body_len];
+        match meta.msg_type {
+            0x01 => Ok(RequestView::Pull {
+                epoch: take_u64(&mut body)?,
+                batch: take_u64(&mut body)?,
+                keys: U64sView::split(&mut body)?,
+            }),
+            0x02 => Ok(RequestView::Push {
+                epoch: take_u64(&mut body)?,
+                batch: take_u64(&mut body)?,
+                keys: U64sView::split(&mut body)?,
+                grads: F32sView::split(&mut body)?,
+            }),
+            mt => {
+                let mut owned = buf.slice(HEADER_LEN..HEADER_LEN + meta.body_len);
+                match Frame::decode_body(mt, &mut owned)? {
+                    Frame::Request(r) => Ok(RequestView::Other(r)),
+                    Frame::Response(_) => Err(Error::corrupt(format!(
+                        "response type {mt:#04x} as request"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Whether executing this request mutates server state (mirrors
+    /// [`Request::is_mutating`]).
+    pub fn is_mutating(&self) -> bool {
+        match self {
+            RequestView::Pull { .. } | RequestView::Push { .. } => true,
+            RequestView::Other(r) => r.is_mutating(),
+        }
+    }
+
+    /// The placement epoch this burst was routed under, if it carries
+    /// one.
+    pub fn epoch(&self) -> Option<u64> {
+        match self {
+            RequestView::Pull { epoch, .. } | RequestView::Push { epoch, .. } => Some(*epoch),
+            RequestView::Other(_) => None,
+        }
+    }
+}
+
+/// A response decoded in place over a validated frame: the hot-path
+/// `Weights` burst keeps its weight vector as a borrowed view; every
+/// other response falls back to the owned decoder.
+#[derive(Debug)]
+pub enum ResponseView<'a> {
+    /// Pull result; `weights` borrows the frame.
+    Weights {
+        /// Weights in request order, viewed over the frame bytes.
+        weights: F32sView<'a>,
+        /// Server-side virtual-time charges.
+        cost: Cost,
+    },
+    /// Any other response, decoded as owned data.
+    Other(Response),
+}
+
+impl<'a> ResponseView<'a> {
+    /// Decode the body of a validated response frame. `buf` must be the
+    /// same buffer `meta` was validated from.
+    pub fn decode(meta: FrameMeta, buf: &'a Bytes) -> Result<Self, Error> {
+        match meta.msg_type {
+            0x81 => {
+                let mut body: &[u8] = &buf[HEADER_LEN..HEADER_LEN + meta.body_len];
+                let weights = F32sView::split(&mut body)?;
+                if body.len() < COST_WIRE_LEN {
+                    return Err(truncated());
+                }
+                let mut cost_bytes = buf.slice(HEADER_LEN..HEADER_LEN + meta.body_len);
+                cost_bytes.advance(meta.body_len - body.len());
+                let cost = get_cost(&mut cost_bytes)?;
+                Ok(ResponseView::Weights { weights, cost })
+            }
+            mt => {
+                let mut owned = buf.slice(HEADER_LEN..HEADER_LEN + meta.body_len);
+                match Frame::decode_body(mt, &mut owned)? {
+                    Frame::Response(r) => Ok(ResponseView::Other(r)),
+                    Frame::Request(_) => Err(Error::corrupt(format!(
+                        "request type {mt:#04x} as response"
+                    ))),
+                }
+            }
+        }
     }
 }
 
@@ -712,6 +1100,7 @@ mod tests {
             frame: f,
         };
         let enc = p.encode();
+        assert_eq!(p.encoded_len(), enc.len(), "analytic length is exact");
         let dec = Packet::decode(enc).expect("decodes");
         assert_eq!(dec, p);
     }
@@ -914,6 +1303,149 @@ mod tests {
         let err = Packet::decode(pkt.freeze()).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::Corrupt);
         assert!(err.context().contains("unknown message type"), "{err}");
+    }
+
+    #[test]
+    fn borrowed_encoders_match_owned() {
+        let keys: Vec<u64> = vec![1, 99, u64::MAX, 7];
+        let grads: Vec<f32> = vec![0.5, -1.25, 3.5e-9, 0.0, 1.0, -2.0, 3.25, f32::MAX];
+        assert_eq!(
+            Packet::encode_pull(3, 41, 5, 9, &keys),
+            Packet::request(
+                3,
+                41,
+                Request::Pull {
+                    epoch: 5,
+                    batch: 9,
+                    keys: keys.clone()
+                }
+            )
+            .encode()
+        );
+        assert_eq!(
+            Packet::encode_push(3, 42, 5, 9, &keys, &grads),
+            Packet::request(
+                3,
+                42,
+                Request::Push {
+                    epoch: 5,
+                    batch: 9,
+                    keys: keys.clone(),
+                    grads: grads.clone()
+                }
+            )
+            .encode()
+        );
+        let mut cost = Cost::new();
+        cost.charge(CostKind::Net, 77);
+        cost.charge(CostKind::PmemRead, 305);
+        assert_eq!(
+            Packet::encode_weights_response(3, 43, &grads, &cost),
+            Packet::response(
+                3,
+                43,
+                Response::Weights {
+                    weights: grads.clone(),
+                    cost
+                }
+            )
+            .encode()
+        );
+    }
+
+    #[test]
+    fn request_views_agree_with_owned_decode() {
+        let keys = [4u64, 5, 4, u64::MAX];
+        let grads = [1.0f32, 2.0, -3.0, 0.5];
+        let enc = Packet::encode_push(9, 11, 2, 3, &keys, &grads);
+        let meta = validate_frame(&enc).expect("valid frame");
+        assert_eq!((meta.client, meta.seq, meta.msg_type), (9, 11, 0x02));
+        let RequestView::Push {
+            epoch,
+            batch,
+            keys: kv,
+            grads: gv,
+        } = RequestView::decode(meta, &enc).expect("view decodes")
+        else {
+            panic!("wrong view");
+        };
+        assert_eq!((epoch, batch), (2, 3));
+        assert_eq!(kv.iter().collect::<Vec<_>>(), keys);
+        assert_eq!(gv.iter().collect::<Vec<_>>(), grads);
+        assert_eq!(kv.get(3), u64::MAX);
+        assert_eq!(gv.get(2), -3.0);
+        let mut out = Vec::new();
+        kv.extend_into(&mut out);
+        assert_eq!(out, keys);
+        // Owned decode of the same bytes agrees field for field.
+        let dec = Packet::decode(enc.clone()).unwrap();
+        let Frame::Request(Request::Push {
+            keys: ok,
+            grads: og,
+            ..
+        }) = dec.frame
+        else {
+            panic!("wrong frame");
+        };
+        assert_eq!(ok, keys);
+        assert_eq!(og, grads);
+        // Non-hot-path requests fall back to the owned decoder.
+        let enc = Packet::request(9, 12, Request::SeqFence { floor: 6 }).encode();
+        let meta = validate_frame(&enc).unwrap();
+        let view = RequestView::decode(meta, &enc).unwrap();
+        assert!(matches!(
+            view,
+            RequestView::Other(Request::SeqFence { floor: 6 })
+        ));
+        assert!(!view.is_mutating());
+        assert_eq!(view.epoch(), None);
+    }
+
+    #[test]
+    fn response_view_borrows_weights() {
+        let mut cost = Cost::new();
+        cost.charge(CostKind::DramTransfer, 12);
+        let weights = [0.25f32, -9.5, 3.0];
+        let enc = Packet::encode_weights_response(1, 2, &weights, &cost);
+        let meta = validate_frame(&enc).unwrap();
+        let ResponseView::Weights {
+            weights: wv,
+            cost: back,
+        } = ResponseView::decode(meta, &enc).expect("view decodes")
+        else {
+            panic!("wrong view");
+        };
+        assert_eq!(wv.iter().collect::<Vec<_>>(), weights);
+        assert_eq!(back, cost);
+        // Non-weights responses fall back to the owned decoder.
+        let enc = Packet::response(1, 3, Response::Count(7)).encode();
+        let meta = validate_frame(&enc).unwrap();
+        assert!(matches!(
+            ResponseView::decode(meta, &enc).unwrap(),
+            ResponseView::Other(Response::Count(7))
+        ));
+    }
+
+    #[test]
+    fn view_decode_rejects_truncated_slices() {
+        // A body whose length prefix promises more elements than the
+        // frame carries must fail validation or view decode, never
+        // panic. Build a push, then corrupt the key-count prefix upward
+        // and re-seal so only the view parser can catch it.
+        let enc = Packet::encode_push(1, 1, 0, 1, &[1, 2], &[0.5, 1.5]);
+        let mut raw = BytesMut::from(&enc[..]);
+        let count_at = HEADER_LEN + 16; // epoch + batch, then key count
+        raw[count_at..count_at + 4].copy_from_slice(&1000u32.to_le_bytes());
+        let checksum = fnv1a(
+            fnv1a(FNV_OFFSET, &raw[..HEADER_LEN - 8]),
+            &raw[HEADER_LEN..],
+        );
+        raw[20..28].copy_from_slice(&checksum.to_le_bytes());
+        let buf = raw.freeze();
+        let meta = validate_frame(&buf).expect("frame-level checks pass");
+        let err = RequestView::decode(meta, &buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Corrupt);
+        assert!(Packet::decode(buf).is_err(), "owned decode agrees");
     }
 
     #[test]

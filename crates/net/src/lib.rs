@@ -54,7 +54,10 @@ pub mod transport;
 
 pub use api::{EngineClient, PsClient};
 pub use client::RemotePs;
-pub use codec::{Frame, Packet, Request, Response};
+pub use codec::{
+    validate_frame, F32sView, Frame, FrameMeta, Packet, Request, RequestView, Response,
+    ResponseView, U64sView,
+};
 pub use config::{NetCharge, NetConfig, RetryPolicy};
 pub use error::{Error, ErrorKind};
 pub use failover::{CheckpointReplica, FailoverEvent, Promotion, Standby};

@@ -44,11 +44,12 @@
 //! epoch bump — while an unexecuted stale burst is refused and the
 //! client must re-route under the new table.
 
-use crate::codec::{Frame, Packet, Request, Response};
+use crate::codec::{validate_frame, Packet, Request, RequestView, Response};
 use crate::error::ErrorKind;
 use crate::transport::ServerTransport;
 use bytes::Bytes;
 use oe_core::engine::PsEngine;
+use oe_core::{ScratchPool, Shape};
 use oe_simdevice::Cost;
 use oe_telemetry::{Phase, PhaseTimes, Registry};
 use parking_lot::Mutex;
@@ -158,12 +159,20 @@ impl PsServer {
                 let seq_floors = Arc::clone(&seq_floors);
                 std::thread::spawn(move || {
                     let mut served = 0u64;
+                    // Per-worker arena pool: a request's keys and grads
+                    // are copied once, wire bytes → recycled scratch,
+                    // and the steady state allocates nothing per call.
+                    let scratch = ScratchPool::new();
                     while let Ok((req, reply)) = rx.recv() {
                         served += 1;
                         requests.inc();
+                        // Validate the frame (magic/version/checksum)
+                        // and decode the hot-path bursts as borrowed
+                        // views over the request bytes; only non-burst
+                        // requests materialize owned bodies.
                         let decoded = {
                             let _span = phases.span(Phase::RpcDecode);
-                            Packet::decode(req)
+                            validate_frame(&req).map(|meta| (meta, RequestView::decode(meta, &req)))
                         };
                         // An undecodable frame still gets a reply: the
                         // client is blocked waiting on this call, and
@@ -172,16 +181,16 @@ impl PsServer {
                         // the error reply carries token (0, 0) and is
                         // never cached.
                         let encoded = match decoded {
-                            Ok(pkt) => {
-                                let token = (pkt.client, pkt.seq);
-                                match pkt.frame {
-                                    Frame::Request(Request::Metrics) => {
+                            Ok((meta, view)) => {
+                                let token = (meta.client, meta.seq);
+                                match view {
+                                    Ok(RequestView::Other(Request::Metrics)) => {
                                         let mut text = registry.render_text();
                                         text.push_str(&engine.metrics_text());
                                         Packet::response(token.0, token.1, Response::Metrics(text))
                                             .encode()
                                     }
-                                    Frame::Request(Request::SeqFence { floor }) => {
+                                    Ok(RequestView::Other(Request::SeqFence { floor })) => {
                                         // Ratchet only upward: a delayed
                                         // duplicate of an older fence must
                                         // not reopen already-fenced seqs.
@@ -195,7 +204,7 @@ impl PsServer {
                                         )
                                         .encode()
                                     }
-                                    Frame::Request(Request::PlacementUpdate { epoch }) => {
+                                    Ok(RequestView::Other(Request::PlacementUpdate { epoch })) => {
                                         // Upward ratchet, like the seq
                                         // fence: a replayed stale update
                                         // is a harmless no-op.
@@ -208,8 +217,8 @@ impl PsServer {
                                         )
                                         .encode()
                                     }
-                                    Frame::Request(r) => {
-                                        let fenced = r.is_mutating()
+                                    Ok(view) => {
+                                        let fenced = view.is_mutating()
                                             && seq_floors
                                                 .lock()
                                                 .get(&token.0)
@@ -233,11 +242,13 @@ impl PsServer {
                                             )
                                             .encode()
                                         } else {
-                                            let cached = if r.is_mutating() {
+                                            let cached = if view.is_mutating() {
                                                 replay.lock().get(token)
                                             } else {
                                                 None
                                             };
+                                            let server_epoch =
+                                                placement_epoch.load(Ordering::SeqCst);
                                             match cached {
                                                 Some(bytes) => {
                                                     // Cached ⇒ already
@@ -248,10 +259,9 @@ impl PsServer {
                                                     replay_hits.inc();
                                                     bytes
                                                 }
-                                                None if Self::stale_epoch(
-                                                    &r,
-                                                    placement_epoch.load(Ordering::SeqCst),
-                                                ) =>
+                                                None if view
+                                                    .epoch()
+                                                    .is_some_and(|e| e < server_epoch) =>
                                                 {
                                                     // Never cached: the
                                                     // client re-routes and
@@ -273,14 +283,16 @@ impl PsServer {
                                                     .encode()
                                                 }
                                                 None => {
-                                                    let mutating = r.is_mutating();
-                                                    let resp = {
+                                                    let mutating = view.is_mutating();
+                                                    let bytes = {
                                                         let _span = phases.span(Phase::RpcExecute);
-                                                        Self::execute(engine.as_ref(), r)
+                                                        Self::execute_view(
+                                                            engine.as_ref(),
+                                                            token,
+                                                            view,
+                                                            &scratch,
+                                                        )
                                                     };
-                                                    let bytes =
-                                                        Packet::response(token.0, token.1, resp)
-                                                            .encode();
                                                     if mutating {
                                                         replay.lock().insert(token, bytes.clone());
                                                     }
@@ -289,7 +301,7 @@ impl PsServer {
                                             }
                                         }
                                     }
-                                    Frame::Response(_) => {
+                                    Err(_) if meta.msg_type >= 0x80 => {
                                         decode_errors.inc();
                                         Packet::response(
                                             token.0,
@@ -297,6 +309,18 @@ impl PsServer {
                                             Response::Error {
                                                 kind: ErrorKind::Rejected,
                                                 message: "unexpected response frame".to_string(),
+                                            },
+                                        )
+                                        .encode()
+                                    }
+                                    Err(e) => {
+                                        decode_errors.inc();
+                                        Packet::response(
+                                            0,
+                                            0,
+                                            Response::Error {
+                                                kind: e.kind(),
+                                                message: e.to_string(),
                                             },
                                         )
                                         .encode()
@@ -326,12 +350,74 @@ impl PsServer {
         ServerHandle { workers, registry }
     }
 
-    /// Routed under an older placement epoch than the server's? Only
-    /// pull/push carry routing decisions; everything else is epoch-free.
-    fn stale_epoch(req: &Request, server_epoch: u64) -> bool {
-        match req {
-            Request::Pull { epoch, .. } | Request::Push { epoch, .. } => *epoch < server_epoch,
-            _ => false,
+    /// Execute a borrowed request view and encode the reply.
+    ///
+    /// Pull and push — the two requests that dominate steady-state
+    /// traffic — never materialize owned key/grad vectors from the wire
+    /// bytes: the length-validated views are copied once into a pooled
+    /// [`Scratch`](oe_core::PooledScratch) arena (zero allocations once
+    /// the shape has been seen), and the pull reply is borrow-encoded
+    /// straight from the scratch weights. Everything else falls through
+    /// to the owned-decode [`Self::execute`] path.
+    fn execute_view(
+        engine: &dyn PsEngine,
+        token: (u32, u64),
+        view: RequestView<'_>,
+        scratch: &ScratchPool,
+    ) -> Bytes {
+        match view {
+            RequestView::Pull {
+                epoch: _,
+                batch,
+                keys,
+            } => {
+                let dim = engine.dim();
+                let mut arena = scratch.acquire(Shape::request(keys.len(), keys.len() * dim));
+                let s = &mut *arena;
+                keys.extend_into(&mut s.keys);
+                s.rows.reserve(s.keys.len() * dim);
+                let mut cost = Cost::new();
+                engine.pull(&s.keys, batch, &mut s.rows, &mut cost);
+                Packet::encode_weights_response(token.0, token.1, &s.rows, &cost)
+            }
+            RequestView::Push {
+                epoch: _,
+                batch,
+                keys,
+                grads,
+            } => {
+                let dim = engine.dim();
+                // A shape mismatch is a malformed request, not a server
+                // bug: reject it with a structured error instead of
+                // letting the engine's internal invariants trip.
+                if grads.len() != keys.len() * dim {
+                    return Packet::response(
+                        token.0,
+                        token.1,
+                        Response::Error {
+                            kind: ErrorKind::Rejected,
+                            message: format!(
+                                "push shape mismatch: {} keys at dim {} require {} grads, got {}",
+                                keys.len(),
+                                dim,
+                                keys.len() * dim,
+                                grads.len()
+                            ),
+                        },
+                    )
+                    .encode();
+                }
+                let mut arena = scratch.acquire(Shape::request(keys.len(), grads.len()));
+                let s = &mut *arena;
+                keys.extend_into(&mut s.keys);
+                grads.extend_into(&mut s.rows);
+                let mut cost = Cost::new();
+                engine.push(&s.keys, &s.rows, batch, &mut cost);
+                Packet::response(token.0, token.1, Response::Ack { cost }).encode()
+            }
+            RequestView::Other(r) => {
+                Packet::response(token.0, token.1, Self::execute(engine, r)).encode()
+            }
         }
     }
 
@@ -413,6 +499,7 @@ impl PsServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::Frame;
     use crate::transport::{loopback, Transport};
     use oe_core::{NodeConfig, OptimizerKind, PsNode};
 

@@ -1,10 +1,14 @@
 //! Codec fuzzing: `Packet::decode` must never panic and must classify
 //! every malformed input as a structured `Corrupt` error — truncations,
-//! bit flips, and arbitrary garbage alike. Seeded proptest keeps the
-//! exploration reproducible.
+//! bit flips, and arbitrary garbage alike. The zero-copy view decoders
+//! (`RequestView`, `ResponseView`) are held to the same bar *and* must
+//! agree exactly with the owned decoder on every valid frame. Seeded
+//! proptest keeps the exploration reproducible.
 
 use bytes::{Bytes, BytesMut};
-use oe_net::{Error, ErrorKind, Frame, Packet, Request, Response};
+use oe_net::{
+    validate_frame, Error, ErrorKind, Frame, Packet, Request, RequestView, Response, ResponseView,
+};
 use proptest::prelude::*;
 
 fn assert_corrupt(res: Result<Packet, Error>, what: &str) {
@@ -99,4 +103,137 @@ proptest! {
         prop_assert_eq!(msg, message);
         prop_assert_eq!(back.is_retryable(), kind.is_retryable());
     }
+
+    /// Arbitrary bytes through the zero-copy path: frame validation
+    /// plus both view decoders never panic and never misclassify.
+    #[test]
+    fn garbage_never_panics_views(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let buf = Bytes::from(bytes);
+        match validate_frame(&buf) {
+            Err(e) => prop_assert_eq!(e.kind(), ErrorKind::Corrupt),
+            Ok(meta) => {
+                if let Err(e) = RequestView::decode(meta, &buf) {
+                    prop_assert_eq!(e.kind(), ErrorKind::Corrupt);
+                }
+                if let Err(e) = ResponseView::decode(meta, &buf) {
+                    prop_assert_eq!(e.kind(), ErrorKind::Corrupt);
+                }
+            }
+        }
+    }
+
+    /// The borrowed pull/push view and the borrowed encoders agree
+    /// exactly with the owned codec: `Packet::encode_pull/encode_push`
+    /// emit byte-identical frames, and `RequestView` reads back exactly
+    /// the keys and gradients the owned decoder materializes.
+    #[test]
+    fn views_agree_with_owned_decode(
+        client in 1u32..,
+        seq in any::<u64>(),
+        epoch in any::<u64>(),
+        batch in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 0..48),
+        grads in prop::collection::vec(any::<f32>(), 0..96),
+    ) {
+        let owned_pull = Packet::request(client, seq, Request::Pull {
+            epoch, batch, keys: keys.clone(),
+        }).encode();
+        let borrowed_pull = Packet::encode_pull(client, seq, epoch, batch, &keys);
+        prop_assert_eq!(&owned_pull, &borrowed_pull, "pull encoders must be byte-identical");
+
+        let meta = validate_frame(&owned_pull).expect("valid frame");
+        prop_assert_eq!((meta.client, meta.seq), (client, seq));
+        match RequestView::decode(meta, &owned_pull).expect("view decodes") {
+            RequestView::Pull { epoch: e, batch: b, keys: kv } => {
+                prop_assert_eq!(e, epoch);
+                prop_assert_eq!(b, batch);
+                prop_assert_eq!(kv.len(), keys.len());
+                let mut out = Vec::new();
+                kv.extend_into(&mut out);
+                prop_assert_eq!(&out, &keys);
+            }
+            other => prop_assert!(false, "wrong view: {other:?}"),
+        }
+
+        let owned_push = Packet::request(client, seq, Request::Push {
+            epoch, batch, keys: keys.clone(), grads: grads.clone(),
+        }).encode();
+        let borrowed_push = Packet::encode_push(client, seq, epoch, batch, &keys, &grads);
+        prop_assert_eq!(&owned_push, &borrowed_push, "push encoders must be byte-identical");
+        let meta = validate_frame(&owned_push).expect("valid frame");
+        match RequestView::decode(meta, &owned_push).expect("view decodes") {
+            RequestView::Push { keys: kv, grads: gv, .. } => {
+                let collected: Vec<u64> = kv.iter().collect();
+                prop_assert_eq!(&collected, &keys);
+                let gbits: Vec<u32> = gv.iter().map(f32::to_bits).collect();
+                let want: Vec<u32> = grads.iter().map(|g| g.to_bits()).collect();
+                prop_assert_eq!(gbits, want, "gradients must survive bit-exactly");
+            }
+            other => prop_assert!(false, "wrong view: {other:?}"),
+        }
+    }
+
+    /// The borrowed weights-response encoder and view agree with the
+    /// owned codec, cost charges included.
+    #[test]
+    fn weights_response_view_roundtrips(
+        client in 1u32..,
+        seq in any::<u64>(),
+        weights in prop::collection::vec(any::<f32>(), 0..128),
+    ) {
+        let cost = oe_simdevice::Cost::new();
+        let owned = Packet::response(client, seq, Response::Weights {
+            weights: weights.clone(), cost: cost.clone(),
+        }).encode();
+        let borrowed = Packet::encode_weights_response(client, seq, &weights, &cost);
+        prop_assert_eq!(&owned, &borrowed, "weights encoders must be byte-identical");
+        let meta = validate_frame(&owned).expect("valid frame");
+        match ResponseView::decode(meta, &owned).expect("view decodes") {
+            ResponseView::Weights { weights: wv, cost: c } => {
+                let wbits: Vec<u32> = wv.iter().map(f32::to_bits).collect();
+                let want: Vec<u32> = weights.iter().map(|w| w.to_bits()).collect();
+                prop_assert_eq!(wbits, want);
+                prop_assert_eq!(c, cost);
+            }
+            other => prop_assert!(false, "wrong view: {other:?}"),
+        }
+    }
+
+    /// A corrupted element-count prefix (pointing past the body) is a
+    /// structured error from the view decoder, after re-sealing the
+    /// checksum so only the length lies.
+    #[test]
+    fn view_rejects_lying_length_prefixes(
+        keys in prop::collection::vec(any::<u64>(), 1..16),
+        lie in 64u32..u32::MAX,
+    ) {
+        let enc = Packet::request(9, 9, Request::Pull {
+            epoch: 0, batch: 1, keys,
+        }).encode();
+        let mut raw = BytesMut::from(&enc[..]);
+        // Body layout: epoch u64 | batch u64 | count u32 | keys…;
+        // the count sits 16 bytes into the body (header is 28 bytes).
+        let count_at = 28 + 16;
+        raw[count_at..count_at + 4].copy_from_slice(&lie.to_le_bytes());
+        reseal(&mut raw);
+        let buf = raw.freeze();
+        let meta = validate_frame(&buf).expect("checksum was re-sealed");
+        let err = RequestView::decode(meta, &buf).expect_err("lying count must not decode");
+        prop_assert_eq!(err.kind(), ErrorKind::Corrupt);
+        let err = Packet::decode(buf).expect_err("owned decoder agrees");
+        prop_assert_eq!(err.kind(), ErrorKind::Corrupt);
+    }
+}
+
+/// Recompute and patch the FNV-1a frame checksum after a deliberate
+/// body mutation, so tests can target the *structural* validation
+/// beneath the checksum.
+fn reseal(raw: &mut BytesMut) {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for &b in raw[..20].iter().chain(raw[28..].iter()) {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    raw[20..28].copy_from_slice(&h.to_le_bytes());
 }
