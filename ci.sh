@@ -60,4 +60,10 @@ cargo test --release -q -p openembedding --test rebalance_e2e
 echo "==> skew-aware rebalancing bench (smoke, gated)"
 cargo run --release -p oe-bench --bin rebalance -- --smoke --out BENCH_rebalance.json "${GATE_FLAGS[@]}"
 
+echo "==> pipelined-training sync-parity smoke"
+cargo test --release -q -p openembedding --test pipeline_e2e
+
+echo "==> pipelined-training frontier bench (smoke, gated)"
+cargo run --release -p oe-bench --bin pipeline -- --smoke --out BENCH_pipeline.json "${GATE_FLAGS[@]}"
+
 echo "CI OK"

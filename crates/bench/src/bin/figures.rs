@@ -19,7 +19,7 @@ fn main() {
         .collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: figures [--quick] <id>...\n  ids: all table1 table2 table5 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 latency ablations pullpush kernels failover crashmc rebalance"
+            "usage: figures [--quick] <id>...\n  ids: all table1 table2 table5 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 latency ablations pullpush kernels failover crashmc rebalance pipeline"
         );
         std::process::exit(2);
     }
@@ -68,6 +68,7 @@ fn main() {
             "failover" => figures::failover(&sc),
             "crashmc" => figures::crashmc(&sc),
             "rebalance" => figures::rebalance(&sc),
+            "pipeline" => figures::pipeline(&sc),
             other => {
                 eprintln!("unknown figure id: {other}");
                 std::process::exit(2);

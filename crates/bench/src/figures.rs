@@ -782,6 +782,19 @@ pub fn rebalance(sc: &Scenario) {
     crate::rebalance::print_report(&r);
 }
 
+/// pipeline — sync-vs-bounded-async pipelining frontier on DeepFM-lite
+/// (see [`crate::pipeline`]).
+pub fn pipeline(sc: &Scenario) {
+    hr("pipeline — overlapped training vs staleness bound");
+    let cfg = if sc.batch_size < 1024 {
+        crate::pipeline::PipelineBenchConfig::smoke()
+    } else {
+        crate::pipeline::PipelineBenchConfig::paper()
+    };
+    let r = crate::pipeline::run(&cfg);
+    crate::pipeline::print_report(&r);
+}
+
 /// Run everything.
 pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     table1(sc);
@@ -806,4 +819,5 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     failover(sc);
     crashmc(sc);
     rebalance(sc);
+    pipeline(sc);
 }

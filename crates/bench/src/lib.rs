@@ -23,6 +23,11 @@
 //!   melts one shard; the telemetry-driven rebalancer drains it live
 //!   and restores tail latency, emitted as `BENCH_rebalance.json` by
 //!   the `rebalance` binary.
+//! - [`pipeline`] — sync-vs-bounded-async pipelining frontier: epoch
+//!   virtual time and wall time vs the staleness bound on a zipf
+//!   DeepFM-lite workload, with prefetch hit-rates and the
+//!   accuracy-vs-epoch-time convergence curve, emitted as
+//!   `BENCH_pipeline.json` by the `pipeline` binary.
 //! - [`kernels`] — wall-clock microbench of the vectorized optimizer
 //!   kernels (scalar vs SIMD-shaped vs batched) and the zero-copy
 //!   codec (owned vs borrowed encode/decode), emitted as
@@ -39,6 +44,7 @@ pub mod crashmc;
 pub mod failover;
 pub mod figures;
 pub mod kernels;
+pub mod pipeline;
 pub mod pullpush;
 pub mod rebalance;
 pub mod scenario;
@@ -47,6 +53,7 @@ pub mod trajectory;
 pub use crashmc::{CrashMcBenchConfig, CrashMcReport};
 pub use failover::{FailoverConfig, FailoverReport};
 pub use kernels::{KernelsConfig, KernelsReport};
+pub use pipeline::{PipelineBenchConfig, PipelineBenchReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
 pub use rebalance::{RebalanceBenchConfig, RebalanceReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};

@@ -23,6 +23,12 @@ use std::time::{SystemTime, UNIX_EPOCH};
 /// best-of-k ratios, tight enough to catch a disabled fast path.
 pub const DEFAULT_THRESHOLD: f64 = 0.30;
 
+/// Entries kept per bench in the trajectory file. The file is an
+/// append-only log committed to the repo; without a cap every CI run
+/// grows it forever. Twenty runs is enough history to eyeball a trend
+/// while keeping the artifact diff-sized.
+pub const MAX_HISTORY_PER_BENCH: usize = 20;
+
 /// `git rev-parse --short HEAD`, or `"unknown"` outside a work tree.
 pub fn current_commit() -> String {
     Command::new("git")
@@ -81,7 +87,8 @@ fn entry_json(commit: &str, bench: &str, when: u64, metrics: &[(String, f64)]) -
 
 /// Append one run to the trajectory file, creating it as a fresh JSON
 /// array if absent. Entries carry the commit, bench name, unix time,
-/// and a flat metric map.
+/// and a flat metric map. History is capped: only the newest
+/// [`MAX_HISTORY_PER_BENCH`] entries of each bench survive an append.
 pub fn record(path: &Path, bench: &str, metrics: &[(String, f64)]) -> io::Result<()> {
     let entry = entry_json(&current_commit(), bench, unix_time(), metrics);
     let existing = match fs::read_to_string(path) {
@@ -106,7 +113,83 @@ pub fn record(path: &Path, bench: &str, metrics: &[(String, f64)]) -> io::Result
             format!("{}: not a JSON array; refusing to append", path.display()),
         ));
     };
-    fs::write(path, out)
+    fs::write(path, cap_history(&out).unwrap_or(out))
+}
+
+/// Split the text of a JSON array into its top-level object entries
+/// (string-aware brace matching; the vendored `serde_json` stub cannot
+/// parse). `None` when the text is not a well-formed array of objects.
+fn top_level_entries(text: &str) -> Option<Vec<&str>> {
+    let body = text.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut entries = Vec::new();
+    let (mut depth, mut start) = (0usize, 0usize);
+    let (mut in_str, mut esc) = (false, false);
+    for (i, c) in body.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' if !in_str => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' if !in_str => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    entries.push(&body[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    (depth == 0 && !in_str).then_some(entries)
+}
+
+/// The `"bench"` field of one trajectory entry.
+fn bench_of(entry: &str) -> Option<&str> {
+    let rest = &entry[entry.find("\"bench\"")? + "\"bench\"".len()..];
+    let rest = rest[rest.find(':')? + 1..].trim_start().strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Drop each bench's oldest entries beyond [`MAX_HISTORY_PER_BENCH`],
+/// preserving order. `None` (caller keeps the uncapped text) when the
+/// array cannot be split — better an oversized log than a corrupted
+/// one.
+fn cap_history(text: &str) -> Option<String> {
+    let entries = top_level_entries(text)?;
+    let mut per_bench: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for e in &entries {
+        *per_bench.entry(bench_of(e).unwrap_or("")).or_insert(0) += 1;
+    }
+    if per_bench.values().all(|&n| n <= MAX_HISTORY_PER_BENCH) {
+        return None; // nothing to drop; keep the spliced text verbatim
+    }
+    let mut kept: Vec<&str> = Vec::with_capacity(entries.len());
+    for e in &entries {
+        let n = per_bench
+            .get_mut(bench_of(e).unwrap_or(""))
+            .expect("counted above");
+        if *n > MAX_HISTORY_PER_BENCH {
+            *n -= 1; // this bench still has too many: drop this (older) one
+        } else {
+            kept.push(e);
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in kept.iter().enumerate() {
+        let sep = if i + 1 == kept.len() { "\n" } else { ",\n" };
+        out.push_str("  ");
+        out.push_str(e);
+        out.push_str(sep);
+    }
+    out.push_str("]\n");
+    Some(out)
 }
 
 /// Parse a flat JSON object of `"name": number` pairs (the baseline
@@ -344,6 +427,49 @@ mod tests {
         record(&p, "alpha", &m(&[("x", 1.6)])).unwrap();
         let text = fs::read_to_string(&p).unwrap();
         assert_eq!(text.matches("\"commit\"").count(), 3, "{text}");
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn record_caps_history_per_bench() {
+        let p = tmp("cap.json");
+        for i in 0..(MAX_HISTORY_PER_BENCH + 5) {
+            record(&p, "hot", &m(&[("x", i as f64)])).unwrap();
+            if i % 3 == 0 {
+                record(&p, "cold", &m(&[("y", i as f64)])).unwrap();
+            }
+        }
+        let text = fs::read_to_string(&p).unwrap();
+        let hot = text.matches("\"hot\"").count();
+        assert_eq!(hot, MAX_HISTORY_PER_BENCH, "{text}");
+        // The oldest "hot" runs were dropped, the newest kept.
+        assert!(!text.contains("\"x\": 0\n"), "{text}");
+        assert!(text.contains(&format!("\"x\": {}", MAX_HISTORY_PER_BENCH + 4)));
+        // The under-cap bench kept its full history.
+        assert_eq!(text.matches("\"cold\"").count(), 9, "{text}");
+        // Still a well-formed array that future appends splice into.
+        record(&p, "hot", &m(&[("x", 999.0)])).unwrap();
+        let text = fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"x\": 999"));
+        assert_eq!(text.matches("\"hot\"").count(), MAX_HISTORY_PER_BENCH);
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn gate_failure_names_metric_observed_and_allowed_in_one_line() {
+        let p = tmp("gatemsg.json");
+        update_baseline(&p, "pipe", &m(&[("speedup", 2.0)])).unwrap();
+        let bad = gate(&p, "pipe", &m(&[("speedup", 1.0)]), 0.30).unwrap();
+        let GateOutcome::Fail(msgs) = bad else {
+            panic!("expected failure");
+        };
+        assert_eq!(msgs.len(), 1);
+        let msg = &msgs[0];
+        assert!(!msg.contains('\n'), "one line: {msg:?}");
+        assert!(msg.contains("pipe.speedup"), "names the metric: {msg}");
+        assert!(msg.contains("1.0000"), "observed value: {msg}");
+        assert!(msg.contains("1.4000"), "allowed floor: {msg}");
+        assert!(msg.contains("2.0000"), "baseline: {msg}");
         fs::remove_file(&p).unwrap();
     }
 

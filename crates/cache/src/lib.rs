@@ -16,6 +16,9 @@
 //!   once the new checkpoint is done".
 //! - [`access_queue::AccessQueue`] — the queue of entries touched by the
 //!   current batch's pulls, consumed by the cache-maintainer threads.
+//! - [`prefetch::PrefetchCache`] — the trainer-side, heat-ranked store
+//!   of next-batch rows for the pipelined training path, coherent with
+//!   the applied-push watermark.
 //!
 //! The crate is policy-free: Algorithm 1/2 logic lives in `oe-core`.
 
@@ -26,6 +29,7 @@ pub mod chain;
 pub mod index;
 pub mod lru;
 pub mod policy;
+pub mod prefetch;
 pub mod tagged;
 
 /// Embedding entry key (feature id).
@@ -41,4 +45,5 @@ pub use chain::VersionChain;
 pub use index::{HashIndex, IndexEntry};
 pub use lru::LruList;
 pub use policy::{EvictionPolicy, PolicyKind};
+pub use prefetch::{HeatSketch, PrefetchCache, PrefetchStats};
 pub use tagged::TaggedLoc;

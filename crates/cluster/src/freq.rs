@@ -67,6 +67,16 @@ impl FreqTracker {
     }
 }
 
+/// The tracker doubles as the heat oracle for `oe-cache`'s prefetch
+/// cache: the pipelined trainer feeds it observed pulls and the cache
+/// ranks admission/eviction by the same decayed counts the placer uses
+/// — one sketch, two consumers.
+impl oe_cache::prefetch::HeatSketch for FreqTracker {
+    fn heat(&self, key: Key) -> u64 {
+        self.count(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +91,17 @@ mod tests {
         assert_eq!(f.top_hot(3), vec![(9, 100), (3, 10), (5, 10)]);
         assert_eq!(f.total(), 121);
         assert_eq!(f.distinct(), 4);
+    }
+
+    #[test]
+    fn heat_sketch_view_matches_counts() {
+        use oe_cache::prefetch::HeatSketch;
+        let mut f = FreqTracker::new();
+        f.observe(4, 6);
+        assert_eq!(f.heat(4), 6);
+        f.decay();
+        assert_eq!(f.heat(4), 3);
+        assert_eq!(f.heat(999), 0);
     }
 
     #[test]

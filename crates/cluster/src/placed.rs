@@ -45,6 +45,10 @@ pub struct PlacedCluster<E: PsEngine> {
     freq: Mutex<FreqTracker>,
     controller: Option<Mutex<RebalanceController>>,
     mig: Mutex<MigrationStats>,
+    /// Keys whose placement changed at the most recent cutovers, not
+    /// yet collected by [`PlacedCluster::drain_moved_keys`]. Feeds
+    /// trainer-side caches that must invalidate moved entries.
+    moved_pending: Mutex<Vec<Key>>,
     // Telemetry: per-node burst latency + keys served, cluster gauges.
     registry: Registry,
     node_hist: Vec<HistogramHandle>,
@@ -109,6 +113,7 @@ impl<E: PsEngine> PlacedCluster<E> {
             freq: Mutex::new(FreqTracker::new()),
             controller: controller.map(Mutex::new),
             mig: Mutex::new(MigrationStats::default()),
+            moved_pending: Mutex::new(Vec::new()),
             registry,
             node_hist,
             node_keys,
@@ -159,6 +164,14 @@ impl<E: PsEngine> PlacedCluster<E> {
     /// Cumulative migration counters.
     pub fn migration_stats(&self) -> MigrationStats {
         *self.mig.lock()
+    }
+
+    /// Collect (and clear) the keys whose placement changed at cutovers
+    /// since the last call, in move order. A trainer-side prefetch
+    /// cache drains this at the batch boundary and invalidates exactly
+    /// those entries exactly once — a second drain returns nothing.
+    pub fn drain_moved_keys(&self) -> Vec<Key> {
+        std::mem::take(&mut *self.moved_pending.lock())
     }
 
     /// The cluster's telemetry registry (placement epoch, per-node
@@ -259,6 +272,9 @@ impl<E: PsEngine> PlacedCluster<E> {
         for &(k, src, _) in &active.moves {
             self.nodes[src].discard_entry(k, cost);
         }
+        self.moved_pending
+            .lock()
+            .extend(active.moves.iter().map(|&(k, _, _)| k));
         let moved = active.moves.len() as u64;
         let window = (batch - active.started_batch).saturating_sub(1);
         self.migrations_total.inc();

@@ -51,6 +51,17 @@ pub trait PsEngine: Send + Sync {
     /// pre-aggregated per key.
     fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost);
 
+    /// Out-of-band gradient apply for the pipelined training path:
+    /// byte-for-byte the same state transition as [`PsEngine::push`]
+    /// (the weights must not care *when* a gradient lands), but the
+    /// caller is signalling that this burst runs off the training
+    /// critical path — during a later batch's GPU compute — so engines
+    /// may account it separately (telemetry, service-lane scheduling).
+    /// The default simply delegates, which is always correct.
+    fn push_async(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        self.push(keys, grads, batch, cost);
+    }
+
     /// Request a checkpoint covering everything up to and including
     /// `batch`. Returns the *inline* cost that pauses training
     /// (near-zero for batch-aware checkpointing; the full dump for

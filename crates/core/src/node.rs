@@ -1217,6 +1217,17 @@ impl PsEngine for PsNode {
             .record_ns(Phase::Push, cost.total_ns().saturating_sub(t0));
     }
 
+    fn push_async(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
+        // Identical state transition to `push` — bit-identity of the
+        // pipelined trainer depends on it — plus a telemetry counter so
+        // the exposition separates out-of-band applies from critical-
+        // path pushes.
+        self.registry
+            .counter("oe_async_applied_keys_total")
+            .add(keys.len() as u64);
+        PsEngine::push(self, keys, grads, batch, cost);
+    }
+
     fn request_checkpoint(&self, batch: BatchId) -> Cost {
         let mut cost = Cost::new();
         cost.charge(CostKind::Cpu, 100);

@@ -16,11 +16,64 @@
 
 use crate::error::Error;
 use crate::failover::FailoverEvent;
+use bytes::Bytes;
 use oe_core::engine::{MaintenanceReport, PsEngine};
 use oe_core::stats::StatsSnapshot;
 use oe_core::{BatchId, Key, PsNode};
 use oe_simdevice::Cost;
 use std::sync::Arc;
+
+/// An issued-but-not-completed pull: the pipelined trainer splits a
+/// pull into *issue* (during batch t's GPU compute) and *complete*
+/// (before batch t+1 consumes the weights). In-process backends defer
+/// everything to completion; `RemotePs` does the real issue-side work —
+/// minting the idempotence token and borrow-encoding the wire frame —
+/// at issue time, so retries of a pipelined pull resend byte-identical
+/// frames exactly like the synchronous path.
+#[derive(Debug)]
+pub struct PullTicket {
+    keys: Vec<Key>,
+    batch: BatchId,
+    /// Pre-encoded `(seq, frame)` for wire backends; `None` defers the
+    /// whole pull to completion.
+    wire: Option<(u64, Bytes)>,
+}
+
+impl PullTicket {
+    /// A ticket that defers all work to completion (in-process path).
+    pub fn deferred(keys: Vec<Key>, batch: BatchId) -> Self {
+        Self {
+            keys,
+            batch,
+            wire: None,
+        }
+    }
+
+    /// A ticket whose request frame (and idempotence token `seq`) was
+    /// already encoded at issue time (wire path).
+    pub fn encoded(keys: Vec<Key>, batch: BatchId, seq: u64, frame: Bytes) -> Self {
+        Self {
+            keys,
+            batch,
+            wire: Some((seq, frame)),
+        }
+    }
+
+    /// Keys this pull covers, in request order.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Batch the pulled weights are destined for.
+    pub fn batch(&self) -> BatchId {
+        self.batch
+    }
+
+    /// The pre-encoded wire state, if the issue side produced one.
+    pub fn wire(&self) -> Option<(u64, &Bytes)> {
+        self.wire.as_ref().map(|(seq, frame)| (*seq, frame))
+    }
+}
 
 /// A fallible, backend-agnostic parameter-server client.
 pub trait PsClient: Send + Sync {
@@ -38,6 +91,29 @@ pub trait PsClient: Send + Sync {
         out: &mut Vec<f32>,
         cost: &mut Cost,
     ) -> Result<(), Error>;
+
+    /// Issue a pull without waiting for its result: the pipelined
+    /// trainer calls this while a *previous* batch's GPU compute is
+    /// still in flight. The default defers everything to
+    /// [`PsClient::pull_complete`], which is always correct; wire
+    /// backends override to do the retry-sensitive issue-side work
+    /// (idempotence token, frame encoding) eagerly.
+    fn pull_issue(&self, keys: &[Key], batch: BatchId) -> Result<PullTicket, Error> {
+        Ok(PullTicket::deferred(keys.to_vec(), batch))
+    }
+
+    /// Complete a pull issued by [`PsClient::pull_issue`], appending the
+    /// weights to `out` in ticket key order. `issue` + `complete` must
+    /// produce byte-identical weights and cost to a single
+    /// [`PsClient::pull_batch`] call over the same keys.
+    fn pull_complete(
+        &self,
+        ticket: PullTicket,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        self.pull_batch(ticket.keys(), ticket.batch(), out, cost)
+    }
 
     /// All pulls for `batch` done: run deferred maintenance.
     fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error>;
@@ -250,6 +326,29 @@ mod tests {
         assert_eq!(direct.key_count().unwrap(), 3);
         assert!(direct.failover_resume().is_none());
         assert!(direct.metrics().unwrap().contains("oe_pulls_total"));
+    }
+
+    #[test]
+    fn issue_complete_matches_pull_batch() {
+        let a = node();
+        let b = node();
+        let keys = [7u64, 3, 11];
+        let mut out_sync = Vec::new();
+        let mut cost_sync = Cost::new();
+        a.pull_batch(&keys, 1, &mut out_sync, &mut cost_sync)
+            .unwrap();
+
+        let mut out_split = Vec::new();
+        let mut cost_split = Cost::new();
+        let ticket = b.pull_issue(&keys, 1).unwrap();
+        assert_eq!(ticket.keys(), &keys);
+        assert_eq!(ticket.batch(), 1);
+        assert!(ticket.wire().is_none(), "in-process path defers encoding");
+        b.pull_complete(ticket, &mut out_split, &mut cost_split)
+            .unwrap();
+
+        assert_eq!(out_sync, out_split);
+        assert_eq!(cost_sync.total_ns(), cost_split.total_ns());
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! the client additionally charges `Net` time per frame byte using the
 //! paper's 30 Gb intranet model.
 
-use crate::api::PsClient;
+use crate::api::{PsClient, PullTicket};
 use crate::codec::{validate_frame, Frame, FrameMeta, Packet, Request, Response, ResponseView};
 use crate::config::NetConfig;
 use crate::error::{Error, ErrorKind};
@@ -595,6 +595,39 @@ impl PsClient for RemotePs {
         self.pull_impl(keys, batch, out, cost)
     }
 
+    fn pull_issue(&self, keys: &[Key], batch: BatchId) -> Result<PullTicket, Error> {
+        // Mirror `pull_impl`'s issue half exactly: mint the idempotence
+        // token and borrow-encode the frame *now*, so a retry of the
+        // completion resends the byte-identical frame the synchronous
+        // path would have sent.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.placement_epoch.load(Ordering::Relaxed);
+        let frame = Packet::encode_pull(self.client_id, seq, epoch, batch, keys);
+        Ok(PullTicket::encoded(keys.to_vec(), batch, seq, frame))
+    }
+
+    fn pull_complete(
+        &self,
+        ticket: PullTicket,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), Error> {
+        let Some((seq, frame)) = ticket.wire() else {
+            return self.pull_impl(ticket.keys(), ticket.batch(), out, cost);
+        };
+        let (meta, reply) = self.call_raw(seq, frame.clone(), cost)?;
+        match ResponseView::decode(meta, &reply)? {
+            ResponseView::Weights { weights, cost: c } => {
+                cost.merge(&c);
+                weights.extend_into(out);
+                Ok(())
+            }
+            ResponseView::Other(other) => {
+                Err(Error::rejected(format!("pull: unexpected {other:?}")))
+            }
+        }
+    }
+
     fn flush_batch(&self, batch: BatchId) -> Result<MaintenanceReport, Error> {
         let mut net_cost = Cost::new();
         match self.call_result(Request::EndPullPhase { batch }, &mut net_cost)? {
@@ -709,6 +742,35 @@ mod tests {
         assert_eq!(remote.dim(), 4);
         assert_eq!(remote.name(), "PMem-OE");
         assert!(remote.client_id() > 0);
+    }
+
+    #[test]
+    fn remote_issue_complete_matches_pull_batch() {
+        let (a, _ha) = remote_node();
+        let (b, _hb) = remote_node();
+        let keys = [9u64, 2, 40];
+
+        let mut out_sync = Vec::new();
+        let mut cost_sync = Cost::new();
+        a.pull_batch(&keys, 1, &mut out_sync, &mut cost_sync)
+            .unwrap();
+
+        let ticket = b.pull_issue(&keys, 1).unwrap();
+        let (seq, _frame) = ticket.wire().expect("wire path encodes at issue time");
+        let mut out_split = Vec::new();
+        let mut cost_split = Cost::new();
+        b.pull_complete(ticket, &mut out_split, &mut cost_split)
+            .unwrap();
+
+        assert_eq!(out_sync, out_split, "same weights either way");
+        assert_eq!(
+            cost_sync.total_ns(),
+            cost_split.total_ns(),
+            "same virtual cost either way"
+        );
+        // The issue side consumed a seq: the next issue mints a fresh one.
+        let next = b.pull_issue(&keys, 2).unwrap();
+        assert!(next.wire().unwrap().0 > seq);
     }
 
     #[test]

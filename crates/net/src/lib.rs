@@ -52,7 +52,7 @@ pub mod fault;
 pub mod server;
 pub mod transport;
 
-pub use api::{EngineClient, PsClient};
+pub use api::{EngineClient, PsClient, PullTicket};
 pub use client::RemotePs;
 pub use codec::{
     validate_frame, F32sView, Frame, FrameMeta, Packet, Request, RequestView, Response,

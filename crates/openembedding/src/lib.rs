@@ -87,8 +87,8 @@ pub mod prelude {
     pub use oe_telemetry::{Histogram, HistogramSnapshot, Phase, PhaseTimes, Registry};
     pub use oe_train::model::{DeepFm, DeepFmConfig};
     pub use oe_train::{
-        CloudCostModel, GpuModel, NetModel, PsDeployment, SyncTrainer, TrainMode, TrainReport,
-        TrainerConfig,
+        CloudCostModel, CoherenceSource, GpuModel, NetModel, PipelineConfig, PipelineReport,
+        PipelinedTrainer, PsDeployment, SyncTrainer, TrainMode, TrainReport, TrainerConfig,
     };
     pub use oe_workload::{CriteoSynth, SkewModel, WorkloadGen, WorkloadSpec};
 }

@@ -28,6 +28,7 @@ pub mod cost;
 pub mod device;
 pub mod hist;
 pub mod media;
+pub mod overlap;
 
 pub use clock::{Nanos, VirtualClock};
 pub use contention::{amdahl_burst, shared_bandwidth_ns, ContentionModel};
@@ -35,3 +36,4 @@ pub use cost::{Cost, CostKind};
 pub use device::{DeviceKind, DeviceTiming};
 pub use hist::LatencyHistogram;
 pub use media::{CrashImage, CrashPlan, Media, MediaConfig, CACHE_LINE};
+pub use overlap::PipelineWindow;

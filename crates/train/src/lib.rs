@@ -30,6 +30,7 @@ pub mod gpu;
 pub mod model;
 pub mod network;
 pub mod phases;
+pub mod pipeline;
 pub mod report;
 pub mod trainer;
 
@@ -39,5 +40,6 @@ pub use failure::FailureOutcome;
 pub use gpu::GpuModel;
 pub use network::NetModel;
 pub use phases::PhaseBreakdown;
+pub use pipeline::{CoherenceSource, PipelineConfig, PipelineReport, PipelinedTrainer};
 pub use report::TrainReport;
 pub use trainer::{SyncTrainer, TrainMode, TrainerConfig};

@@ -4,7 +4,7 @@ use oe_simdevice::Nanos;
 use serde::Serialize;
 
 /// Virtual-time breakdown of one synchronous training batch.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct PhaseBreakdown {
     /// Pull burst on the critical path (PS service + network).
     pub pull_ns: Nanos,

@@ -1,0 +1,750 @@
+//! The pipelined training driver: overlapped pull / compute / push.
+//!
+//! The synchronous trainer serializes every batch as
+//! `pull → [maintenance ∥ compute] → push`. This driver overlaps the
+//! three stages across *windows*:
+//!
+//! ```text
+//!            window t-1              window t                window t+1
+//!  GPU    ───[compute t-1]────── ───[compute t]─────── ───[compute t+1]───
+//!  PS lane   [apply ≤ t-1-k]       [apply ≤ t-k]          [apply ≤ t+1-k]
+//!            [prefetch t]          [prefetch t+1]         [prefetch t+2]
+//!  exposed  pull misses t-1 ──── pull misses t ──────── pull misses t+1
+//! ```
+//!
+//! - **Prefetch**: batch `t+1`'s pull is issued during batch `t`'s
+//!   compute (via the [`oe_net::PullTicket`] issue/complete split) and
+//!   parked in a skew-aware [`PrefetchCache`] ranked by the decaying
+//!   [`FreqTracker`] sketch — hot keys stay resident, cold keys stream
+//!   through the demand path. Only cache *misses* stay on the critical
+//!   path.
+//! - **Async pushes**: gradients enqueue instead of applying inline.
+//!   The `staleness` knob bounds the queue: during window `t`, every
+//!   pending push of batch `≤ t − staleness` is force-applied on the
+//!   overlapped PS lane. `staleness = 0` degenerates to the fully
+//!   synchronous schedule and is **bit-identical** to
+//!   [`crate::SyncTrainer`] — same weights, same engine counters, same
+//!   virtual nanoseconds (enforced by `tests/pipeline_e2e.rs`).
+//! - **Cost composition**: each window's overlapped stages merge via
+//!   [`PipelineWindow`] — max over lanes for the overlapped portion
+//!   (the DES generalization of the sync trainer's maintenance-spill
+//!   rule), plus the exposed pull and any serial tail.
+//!
+//! Coherence: the cache is fenced on every out-of-band apply (applied
+//! keys are invalidated before the next prefetch re-pulls them), and a
+//! [`CoherenceSource`] lets placement-plane events — a live shard
+//! migration cutover — invalidate moved keys exactly once. A lookup
+//! therefore never returns weights that differ from a demand pull at
+//! the same point in the schedule.
+//!
+//! Staleness semantics: with `staleness = k`, the pull of batch `t`
+//! observes all applies `≤ t − 1 − k`; pushes from the last `k` batches
+//! may still be in flight. Every pull of a key with a pending unapplied
+//! push is counted by the per-key conflict accounting
+//! ([`PipelineReport::stale_read_occurrences`]); at `k = 0` that count
+//! is provably zero. Checkpoints are barriers: the queue drains
+//! serially before the checkpoint request, so a committed checkpoint
+//! never misses an enqueued gradient.
+
+use crate::model::DeepFm;
+use crate::phases::PhaseBreakdown;
+use crate::report::TrainReport;
+use crate::trainer::{teacher_label, worker_grads, Backend, BatchCtx, RunAcc};
+use crate::{TrainMode, TrainerConfig};
+use oe_cache::PrefetchCache;
+use oe_cluster::FreqTracker;
+use oe_core::engine::PsEngine;
+use oe_core::{BatchId, Key};
+use oe_net::{Error as NetError, PsClient};
+use oe_simdevice::clock::Nanos;
+use oe_simdevice::{Cost, PipelineWindow, VirtualClock};
+use oe_workload::{Batch, LookaheadGen, WorkloadGen, WorkloadSpec};
+use serde::Serialize;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Placement-plane events that stale prefetched entries: a live shard
+/// migration moves a key's authoritative copy, so any row prefetched
+/// from the old placement must drop. Implemented by
+/// [`oe_cluster::PlacedCluster`]; draining is destructive, so each
+/// moved key is surfaced — and invalidated — exactly once.
+pub trait CoherenceSource {
+    /// Keys whose placement changed since the last drain.
+    fn drain_invalidations(&self) -> Vec<Key>;
+}
+
+impl<E: PsEngine> CoherenceSource for oe_cluster::PlacedCluster<E> {
+    fn drain_invalidations(&self) -> Vec<Key> {
+        self.drain_moved_keys()
+    }
+}
+
+/// Pipeline knobs.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Maximum batches of pushes allowed in flight. `0` reproduces the
+    /// synchronous trainer bit-for-bit; `k ≥ 1` lets up to `k` batches
+    /// of pushes complete out-of-band.
+    pub staleness: usize,
+    /// Prefetch-cache capacity in entries. `0` disables prefetching
+    /// (every pull stays on the demand path).
+    pub prefetch_capacity: usize,
+    /// Decay the heat sketch every this many windows (`0` = never), so
+    /// admission tracks the *current* hot set under popularity drift.
+    pub heat_decay_every: u64,
+}
+
+impl PipelineConfig {
+    /// Fully synchronous schedule: no overlap, no cache.
+    pub fn sync() -> Self {
+        Self {
+            staleness: 0,
+            prefetch_capacity: 0,
+            heat_decay_every: 64,
+        }
+    }
+
+    /// Bounded-staleness schedule.
+    pub fn bounded(staleness: usize, prefetch_capacity: usize) -> Self {
+        Self {
+            staleness,
+            prefetch_capacity,
+            heat_decay_every: 64,
+        }
+    }
+}
+
+/// A batch's enqueued gradient bursts (one per worker), awaiting apply.
+struct PendingPush {
+    batch: BatchId,
+    bursts: Vec<(Vec<Key>, Vec<f32>)>,
+}
+
+/// Outcome of a pipelined run: the familiar [`TrainReport`] plus
+/// pipeline-specific accounting.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// The underlying training report (virtual time, phases, engine
+    /// counter deltas, loss, checkpoints).
+    pub train: TrainReport,
+    /// Staleness bound the run used.
+    pub staleness: usize,
+    /// Prefetch-cache hits at serve time.
+    pub prefetch_hits: u64,
+    /// Serve-time lookups that fell through to a demand pull.
+    pub prefetch_misses: u64,
+    /// Cache entries dropped for hotter keys.
+    pub prefetch_evictions: u64,
+    /// Cache entries dropped by coherence fences (applied pushes,
+    /// migration cutovers).
+    pub prefetch_invalidations: u64,
+    /// Rows admitted by the prefetcher.
+    pub prefetch_inserts: u64,
+    /// Prefetch offers refused by skew-aware admission.
+    pub prefetch_admission_rejects: u64,
+    /// Fraction of serve-time lookups answered from the cache.
+    pub prefetch_hit_rate: f64,
+    /// Pulled key occurrences whose key had a pending unapplied push
+    /// (always 0 at staleness 0).
+    pub stale_read_occurrences: u64,
+    /// Distinct keys ever pulled while a push to them was pending.
+    pub stale_read_keys: u64,
+    /// Push batches applied out-of-band on the overlapped lane.
+    pub async_applied_batches: u64,
+    /// Virtual time hidden under the GPU lane by overlap (sum over
+    /// windows of `serial − critical`).
+    pub hidden_ns: Nanos,
+    /// Serial time spent draining the push queue at checkpoint barriers
+    /// and the end-of-run epilogue.
+    pub drain_ns: Nanos,
+}
+
+impl PipelineReport {
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} staleness={} time={:>10.3}ms/batch hit={:>5.1}% stale_reads={} hidden={:.3}ms",
+            self.train.engine,
+            self.staleness,
+            self.train.ns_per_batch() / 1e6,
+            self.prefetch_hit_rate * 100.0,
+            self.stale_read_occurrences,
+            self.hidden_ns as f64 / 1e6,
+        )
+    }
+}
+
+/// The pipelined trainer. Owns its (pure, replayable) workload
+/// generator so the lookahead memo can peek one batch ahead.
+pub struct PipelinedTrainer<'a> {
+    backend: Backend<'a>,
+    gen: LookaheadGen,
+    cfg: TrainerConfig,
+    pcfg: PipelineConfig,
+    clock: VirtualClock,
+    model: Option<DeepFm>,
+    cache: PrefetchCache,
+    heat: FreqTracker,
+    pending: VecDeque<PendingPush>,
+    pending_refs: HashMap<Key, u32>,
+    coherence: Option<&'a dyn CoherenceSource>,
+    windows_run: u64,
+    stale_occurrences: u64,
+    stale_keys: HashSet<Key>,
+    async_applied_batches: u64,
+    hidden_ns: Nanos,
+    drain_ns: Nanos,
+}
+
+impl<'a> PipelinedTrainer<'a> {
+    /// Build over an in-process engine.
+    pub fn new(
+        engine: &'a dyn PsEngine,
+        spec: WorkloadSpec,
+        cfg: TrainerConfig,
+        pcfg: PipelineConfig,
+    ) -> Self {
+        Self::build(Backend::Engine(engine), spec, cfg, pcfg)
+    }
+
+    /// Build over any [`PsClient`] backend.
+    pub fn with_client(
+        client: &'a dyn PsClient,
+        spec: WorkloadSpec,
+        cfg: TrainerConfig,
+        pcfg: PipelineConfig,
+    ) -> Self {
+        Self::build(Backend::Client(client), spec, cfg, pcfg)
+    }
+
+    fn build(
+        backend: Backend<'a>,
+        spec: WorkloadSpec,
+        cfg: TrainerConfig,
+        pcfg: PipelineConfig,
+    ) -> Self {
+        let model = match &cfg.mode {
+            TrainMode::DeepFm(mcfg) => {
+                assert_eq!(mcfg.dim, backend.dim(), "model dim must match PS");
+                assert_eq!(mcfg.fields, spec.fields, "model fields must match workload");
+                Some(DeepFm::new(mcfg.clone()))
+            }
+            TrainMode::Synthetic { .. } => None,
+        };
+        let dim = backend.dim();
+        Self {
+            backend,
+            gen: LookaheadGen::new(WorkloadGen::new(spec)),
+            cfg,
+            clock: VirtualClock::new(),
+            model,
+            cache: PrefetchCache::new(pcfg.prefetch_capacity, dim),
+            pcfg,
+            heat: FreqTracker::new(),
+            pending: VecDeque::new(),
+            pending_refs: HashMap::new(),
+            coherence: None,
+            windows_run: 0,
+            stale_occurrences: 0,
+            stale_keys: HashSet::new(),
+            async_applied_batches: 0,
+            hidden_ns: 0,
+            drain_ns: 0,
+        }
+    }
+
+    /// Subscribe placement-plane invalidations (shard migration
+    /// cutovers drop moved keys from the prefetch cache).
+    pub fn set_coherence(&mut self, src: &'a dyn CoherenceSource) {
+        self.coherence = Some(src);
+    }
+
+    /// Virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Run `batches` windows starting at `start_batch`; panics on
+    /// backend failure.
+    pub fn run(&mut self, start_batch: BatchId, batches: u64) -> PipelineReport {
+        self.try_run(start_batch, batches)
+            .unwrap_or_else(|e| panic!("training backend failed: {e}"))
+    }
+
+    /// Fallible run. Unlike [`crate::SyncTrainer`], the pipelined path
+    /// does not absorb failovers (an async queue cannot replay through
+    /// a rewind without violating the staleness bound); backend errors
+    /// propagate.
+    pub fn try_run(
+        &mut self,
+        start_batch: BatchId,
+        batches: u64,
+    ) -> Result<PipelineReport, NetError> {
+        self.try_run_with_hook(start_batch, batches, |_| {})
+    }
+
+    /// [`PipelinedTrainer::try_run`] with a hook fired after every
+    /// completed window — the same out-of-band control seam as the sync
+    /// trainer's (rebalancers forcing a migration mid-epoch, tests
+    /// asserting at window boundaries).
+    pub fn try_run_with_hook(
+        &mut self,
+        start_batch: BatchId,
+        batches: u64,
+        mut hook: impl FnMut(BatchId),
+    ) -> Result<PipelineReport, NetError> {
+        let ctx = BatchCtx::new(self.backend.dim(), self.gen.spec().clone(), &self.cfg);
+        let stats0 = self.backend.stats()?;
+        let mut acc = RunAcc::new();
+
+        let end = start_batch + batches;
+        for b in start_batch..end {
+            self.run_window(b, end, &ctx, &mut acc)?;
+            hook(b);
+        }
+
+        // Epilogue: the last k batches' pushes are still pending —
+        // drain them serially so the run leaves the same weights a
+        // synchronous run of the same gradients would.
+        let drain = self.drain_pending(&ctx)?;
+        self.clock.advance(drain);
+
+        let prefetch = self.cache.stats();
+        Ok(PipelineReport {
+            train: TrainReport {
+                engine: self.backend.name(),
+                workers: self.cfg.workers,
+                batches,
+                total_ns: self.clock.now(),
+                phases: acc.phases,
+                stats: self.backend.stats()?.delta_since(&stats0),
+                avg_loss: if acc.loss_count > 0 {
+                    Some(acc.loss_sum / acc.loss_count as f64)
+                } else {
+                    None
+                },
+                checkpoints_taken: acc.ckpts_taken,
+                committed_checkpoint: self.backend.committed_checkpoint()?,
+                failovers: 0,
+                rewound_batches: 0,
+                trace_per_ms: None,
+                pull_hist: acc.pull_hist.snapshot(),
+                maintain_hist: acc.maintain_hist.snapshot(),
+                push_hist: acc.push_hist.snapshot(),
+                batch_hist: acc.batch_hist.snapshot(),
+            },
+            staleness: self.pcfg.staleness,
+            prefetch_hits: prefetch.hits,
+            prefetch_misses: prefetch.misses,
+            prefetch_evictions: prefetch.evictions,
+            prefetch_invalidations: prefetch.invalidations,
+            prefetch_inserts: prefetch.inserts,
+            prefetch_admission_rejects: prefetch.admission_rejects,
+            prefetch_hit_rate: prefetch.hit_rate(),
+            stale_read_occurrences: self.stale_occurrences,
+            stale_read_keys: self.stale_keys.len() as u64,
+            async_applied_batches: self.async_applied_batches,
+            hidden_ns: self.hidden_ns,
+            drain_ns: self.drain_ns,
+        })
+    }
+
+    /// One pipelined window: serve pulls (cache + demand), overlap
+    /// [maintenance ∥ compute ∥ due applies + prefetch], enqueue the
+    /// window's own push, advance the clock by the composed cost.
+    fn run_window(
+        &mut self,
+        b: BatchId,
+        end: BatchId,
+        ctx: &BatchCtx,
+        acc: &mut RunAcc,
+    ) -> Result<(), NetError> {
+        let backend = self.backend;
+        let dim = ctx.dim;
+        let k = self.pcfg.staleness as u64;
+        let caching = self.pcfg.staleness >= 1 && self.cache.capacity() > 0;
+        let mut batch_phase = PhaseBreakdown::default();
+
+        // ---- coherence fences from the placement plane ----
+        if let Some(src) = self.coherence {
+            let moved = src.drain_invalidations();
+            if !moved.is_empty() {
+                self.cache.invalidate(&moved);
+            }
+        }
+
+        // ---- heat decay (tracks the current hot set under drift) ----
+        if self.pcfg.heat_decay_every > 0
+            && self.windows_run > 0
+            && self.windows_run.is_multiple_of(self.pcfg.heat_decay_every)
+        {
+            self.heat.decay();
+        }
+        self.windows_run += 1;
+
+        // ---- serve pulls: cache hits + demand misses ----
+        let global: Vec<Batch> = self.gen.global_batch(b).to_vec();
+        let mut pull_cost = Cost::new();
+        let mut net_pull: Nanos = 0;
+        let mut worker_data: Vec<(Batch, Vec<f32>)> = Vec::with_capacity(global.len());
+        for wb in global {
+            for &key in &wb.unique_keys {
+                self.heat.observe(key, 1);
+                if self.pending_refs.contains_key(&key) {
+                    self.stale_occurrences += 1;
+                    self.stale_keys.insert(key);
+                }
+            }
+            let mut weights = Vec::with_capacity(wb.unique_keys.len() * dim);
+            if !caching {
+                // Staleness 0: every key takes the demand path — the
+                // exact arithmetic of the synchronous trainer.
+                backend.pull(&wb.unique_keys, b, &mut weights, &mut pull_cost)?;
+                net_pull = net_pull.max(self.cfg.net.pull_ns(wb.unique_keys.len(), dim));
+            } else {
+                let mut hit_rows: Vec<f32> = Vec::new();
+                let mut kinds: Vec<bool> = Vec::with_capacity(wb.unique_keys.len());
+                let mut miss_keys: Vec<Key> = Vec::new();
+                for &key in &wb.unique_keys {
+                    if self.cache.lookup(key, &mut hit_rows) {
+                        kinds.push(true);
+                    } else {
+                        kinds.push(false);
+                        miss_keys.push(key);
+                    }
+                }
+                let mut miss_rows: Vec<f32> = Vec::new();
+                if !miss_keys.is_empty() {
+                    backend.pull(&miss_keys, b, &mut miss_rows, &mut pull_cost)?;
+                    net_pull = net_pull.max(self.cfg.net.pull_ns(miss_keys.len(), dim));
+                }
+                let (mut hi, mut mi) = (0usize, 0usize);
+                for &is_hit in &kinds {
+                    if is_hit {
+                        weights.extend_from_slice(&hit_rows[hi * dim..(hi + 1) * dim]);
+                        hi += 1;
+                    } else {
+                        weights.extend_from_slice(&miss_rows[mi * dim..(mi + 1) * dim]);
+                        mi += 1;
+                    }
+                }
+            }
+            worker_data.push((wb, weights));
+        }
+        batch_phase.pull_ns = ctx.pull_model.burst_ns(&pull_cost) + net_pull;
+
+        // ---- deferred maintenance ∥ GPU compute ----
+        let m = backend.end_pull_phase(b)?;
+        batch_phase.maintain_ns = ctx.maint_model.burst_ns(&m.cost);
+        batch_phase.compute_ns = self.cfg.gpu.compute_ns(
+            ctx.spec.batch_size / self.cfg.workers.max(1) as usize,
+            ctx.spec.fields,
+            dim,
+        );
+
+        // ---- gradients (shared verbatim with the sync trainer) ----
+        let mut bursts: Vec<(Vec<Key>, Vec<f32>)> = Vec::with_capacity(worker_data.len());
+        for (wb, weights) in &worker_data {
+            let grads = worker_grads(
+                &self.cfg.mode,
+                &mut self.model,
+                wb,
+                weights,
+                b,
+                dim,
+                ctx.spec.fields,
+                acc,
+            );
+            bursts.push((wb.unique_keys.clone(), grads));
+        }
+        if let Some(model) = self.model.as_mut() {
+            model.step_dense(); // synchronous allreduce equivalent
+        }
+
+        // ---- enqueue this window's push ----
+        for (keys, _) in &bursts {
+            for &key in keys {
+                *self.pending_refs.entry(key).or_insert(0) += 1;
+            }
+        }
+        self.pending.push_back(PendingPush { batch: b, bursts });
+
+        // ---- apply pushes past their staleness deadline ----
+        // At k = 0 the deadline is this window's own push: it applies
+        // here, serially, exactly like the sync trainer's push burst.
+        // At k ≥ 1 the due batch applies on the overlapped PS lane.
+        let mut apply_ns: Nanos = 0;
+        while self.pending.front().is_some_and(|p| p.batch + k <= b) {
+            let p = self.pending.pop_front().expect("front checked");
+            let mut c = Cost::new();
+            let mut net: Nanos = 0;
+            for (keys, grads) in &p.bursts {
+                if k == 0 {
+                    backend.push(keys, grads, p.batch, &mut c)?;
+                } else {
+                    backend.push_async(keys, grads, p.batch, &mut c)?;
+                }
+                net = net.max(self.cfg.net.push_ns(keys.len(), dim));
+                self.release_pending_keys(keys);
+            }
+            apply_ns += ctx.pull_model.burst_ns(&c) + net;
+            if k >= 1 {
+                self.async_applied_batches += 1;
+            }
+        }
+
+        // ---- prefetch the next window's keys onto the PS lane ----
+        // After the applies above, so the rows it parks reflect the
+        // same watermark the next window's demand pulls will see.
+        let mut prefetch_ns: Nanos = 0;
+        if caching && b + 1 < end {
+            let next = self.gen.unique_union(b + 1);
+            let mut cand: Vec<Key> = Vec::new();
+            for key in next {
+                if !self.cache.contains(key) && self.cache.admissible(key, &self.heat) {
+                    cand.push(key);
+                }
+            }
+            if !cand.is_empty() {
+                let mut c = Cost::new();
+                let mut rows: Vec<f32> = Vec::new();
+                let ticket = backend.pull_issue(&cand, b + 1)?;
+                backend.pull_complete(ticket, &mut rows, &mut c)?;
+                for (i, &key) in cand.iter().enumerate() {
+                    self.cache
+                        .insert(key, &rows[i * dim..(i + 1) * dim], &self.heat);
+                }
+                prefetch_ns = ctx.pull_model.burst_ns(&c) + self.cfg.net.pull_ns(cand.len(), dim);
+            }
+        }
+
+        // ---- compose the window's virtual time ----
+        let mut window = PipelineWindow::new();
+        window.charge("gpu", batch_phase.compute_ns);
+        window.charge("maintain", batch_phase.maintain_ns);
+        if k >= 1 {
+            window.charge("ps", apply_ns + prefetch_ns);
+        }
+        let critical = window.critical_ns();
+        self.hidden_ns += window.hidden_ns();
+        batch_phase.spill_ns = critical.saturating_sub(batch_phase.compute_ns);
+        batch_phase.push_ns = if k == 0 { apply_ns } else { 0 };
+        self.clock
+            .advance(batch_phase.pull_ns + critical + batch_phase.push_ns);
+
+        // ---- checkpoint (a barrier: drain the queue first) ----
+        if let Some(cp) = self.cfg.ckpt.due(self.clock.now(), b) {
+            let drain = self.drain_pending(ctx)?;
+            self.clock.advance(drain);
+            let inline = backend.request_checkpoint(cp)?;
+            let mut pause = ctx.ckpt_model.burst_ns(&inline);
+            pause += self.cfg.dense_ckpt_pause_ns;
+            batch_phase.ckpt_pause_ns = pause;
+            self.clock.advance(pause);
+            acc.ckpts_taken += 1;
+        }
+
+        acc.pull_hist.record(batch_phase.pull_ns);
+        acc.maintain_hist.record(batch_phase.maintain_ns);
+        acc.push_hist.record(batch_phase.push_ns);
+        acc.batch_hist.record(batch_phase.total_ns());
+        acc.phases.accumulate(&batch_phase);
+        Ok(())
+    }
+
+    /// Serially apply everything still pending (checkpoint barrier and
+    /// end-of-run epilogue). Returns the virtual time to charge.
+    fn drain_pending(&mut self, ctx: &BatchCtx) -> Result<Nanos, NetError> {
+        let backend = self.backend;
+        let dim = ctx.dim;
+        let mut total: Nanos = 0;
+        while let Some(p) = self.pending.pop_front() {
+            let mut c = Cost::new();
+            let mut net: Nanos = 0;
+            for (keys, grads) in &p.bursts {
+                backend.push(keys, grads, p.batch, &mut c)?;
+                net = net.max(self.cfg.net.push_ns(keys.len(), dim));
+                self.release_pending_keys(keys);
+            }
+            total += ctx.pull_model.burst_ns(&c) + net;
+        }
+        self.drain_ns += total;
+        Ok(total)
+    }
+
+    /// An applied push releases its keys' pending refs and fences the
+    /// prefetch cache (the cached rows predate the apply).
+    fn release_pending_keys(&mut self, keys: &[Key]) {
+        for &key in keys {
+            if let Some(n) = self.pending_refs.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    self.pending_refs.remove(&key);
+                }
+            }
+        }
+        self.cache.invalidate(keys);
+    }
+
+    /// Held-out accuracy of the DeepFM against the synthetic teacher:
+    /// generates `eval_batches` batches from a seed-shifted copy of the
+    /// workload (keys the trainer never saw as (batch, input) pairs),
+    /// reads current weights through the costless diagnostic path, and
+    /// scores `predict ≥ 0.5` against the teacher label. `None` in
+    /// synthetic-gradient mode. Inputs touching keys the PS has never
+    /// initialized are skipped (they carry no trained signal).
+    pub fn eval_accuracy(&mut self, eval_seed: u64, eval_batches: u64) -> Option<f64> {
+        self.model.as_ref()?;
+        let backend = self.backend;
+        let dim = self.backend.dim();
+        let mut spec = self.gen.spec().clone();
+        spec.seed ^= eval_seed;
+        let fields = spec.fields;
+        let gen = WorkloadGen::new(spec);
+        let model = self.model.as_mut().expect("checked above");
+        let (mut correct, mut total) = (0u64, 0u64);
+        for b in 0..eval_batches {
+            let wb = gen.worker_batch(b, 0);
+            for (ii, input) in wb.input_keys.iter().enumerate() {
+                let mut emb = vec![0.0f32; fields * dim];
+                let mut known = true;
+                for (f, k) in input.iter().enumerate() {
+                    match backend.read_weights(*k) {
+                        Some(w) => emb[f * dim..(f + 1) * dim].copy_from_slice(&w[..dim]),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    }
+                }
+                if !known {
+                    continue;
+                }
+                let p = model.predict(&emb, &[]);
+                let label = teacher_label(input, b, ii);
+                if (p >= 0.5) == (label >= 0.5) {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(correct as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyncTrainer;
+    use oe_core::{CheckpointScheduler, NodeConfig, OptimizerKind, PsNode};
+    use oe_workload::SkewModel;
+
+    fn small_spec(workers: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            num_keys: 2_000,
+            fields: 4,
+            batch_size: 64,
+            workers,
+            skew: SkewModel::paper_fit(),
+            seed: 5,
+            drift_keys_per_batch: 0,
+        }
+    }
+
+    fn node() -> PsNode {
+        let mut cfg = NodeConfig::small(8);
+        cfg.optimizer = OptimizerKind::Adagrad {
+            lr: 0.05,
+            eps: 1e-8,
+        };
+        cfg.cache_bytes = 400 * cfg.bytes_per_cached_entry();
+        PsNode::new(cfg)
+    }
+
+    #[test]
+    fn staleness_zero_is_bit_identical_to_sync() {
+        let sync_node = node();
+        let gen = WorkloadGen::new(small_spec(2));
+        let mut sync = SyncTrainer::new(&sync_node, &gen, TrainerConfig::paper(2));
+        let sr = sync.run(1, 12);
+
+        let pipe_node = node();
+        let mut pipe = PipelinedTrainer::new(
+            &pipe_node,
+            small_spec(2),
+            TrainerConfig::paper(2),
+            PipelineConfig::sync(),
+        );
+        let pr = pipe.run(1, 12);
+
+        assert_eq!(sr.total_ns, pr.train.total_ns, "virtual time");
+        assert_eq!(sr.stats, pr.train.stats, "engine counters");
+        assert_eq!(pr.stale_read_occurrences, 0);
+        assert_eq!(pr.async_applied_batches, 0);
+        for key in [0u64, 1, 7, 42] {
+            assert_eq!(
+                sync_node.read_weights(key),
+                pipe_node.read_weights(key),
+                "weights of {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_staleness_beats_sync_virtual_time() {
+        let run = |pcfg: PipelineConfig| {
+            let n = node();
+            let mut t = PipelinedTrainer::new(&n, small_spec(2), TrainerConfig::paper(2), pcfg);
+            t.run(1, 30)
+        };
+        let sync = run(PipelineConfig::sync());
+        let async2 = run(PipelineConfig::bounded(2, 4096));
+        assert!(
+            async2.train.total_ns < sync.train.total_ns,
+            "overlap must help: sync {} vs k=2 {}",
+            sync.train.total_ns,
+            async2.train.total_ns
+        );
+        assert!(
+            async2.prefetch_hit_rate > 0.3,
+            "{}",
+            async2.prefetch_hit_rate
+        );
+        assert!(async2.stale_read_occurrences > 0, "conflicts tracked");
+        assert!(async2.async_applied_batches > 0);
+        assert!(async2.hidden_ns > 0);
+    }
+
+    #[test]
+    fn checkpoint_is_a_barrier() {
+        let n = node();
+        let mut cfg = TrainerConfig::paper(2);
+        cfg.ckpt = CheckpointScheduler::every(1);
+        let mut t = PipelinedTrainer::new(&n, small_spec(2), cfg, PipelineConfig::bounded(3, 1024));
+        let r = t.run(1, 8);
+        assert!(r.train.checkpoints_taken >= 7);
+        assert!(r.drain_ns > 0, "barriers drained the queue");
+        // Every enqueued push applied by the end: no pending refs leak.
+        assert_eq!(t.pending.len(), 0);
+        assert!(t.pending_refs.is_empty());
+    }
+
+    #[test]
+    fn epilogue_drain_leaves_no_pending_pushes() {
+        let n = node();
+        let mut t = PipelinedTrainer::new(
+            &n,
+            small_spec(2),
+            TrainerConfig::paper(2),
+            PipelineConfig::bounded(4, 512),
+        );
+        let r = t.run(1, 10);
+        assert!(t.pending.is_empty());
+        assert!(t.pending_refs.is_empty());
+        assert!(r.drain_ns > 0, "the last k batches drained in the epilogue");
+        assert!(r.train.stats.pulls >= 1, "engine served demand traffic");
+    }
+}

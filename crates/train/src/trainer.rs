@@ -23,7 +23,7 @@ use crate::report::TrainReport;
 use oe_core::engine::PsEngine;
 use oe_core::init::init_weight;
 use oe_core::{BatchId, CheckpointScheduler};
-use oe_net::{Error as NetError, FailoverEvent, PsClient};
+use oe_net::{Error as NetError, FailoverEvent, PsClient, PullTicket};
 use oe_simdevice::clock::Nanos;
 use oe_simdevice::{ContentionModel, Cost, VirtualClock};
 use oe_telemetry::Histogram;
@@ -92,28 +92,30 @@ impl TrainerConfig {
 }
 
 /// The PS the trainer drives: in-process engine or fallible client.
+/// Shared with the pipelined trainer (`crate::pipeline`), which drives
+/// the same two backend kinds through the same dispatch.
 #[derive(Clone, Copy)]
-enum Backend<'a> {
+pub(crate) enum Backend<'a> {
     Engine(&'a dyn PsEngine),
     Client(&'a dyn PsClient),
 }
 
 impl<'a> Backend<'a> {
-    fn name(&self) -> String {
+    pub(crate) fn name(&self) -> String {
         match self {
             Backend::Engine(e) => e.name().to_string(),
             Backend::Client(c) => c.backend_name(),
         }
     }
 
-    fn dim(&self) -> usize {
+    pub(crate) fn dim(&self) -> usize {
         match self {
             Backend::Engine(e) => e.dim(),
             Backend::Client(c) => c.embed_dim(),
         }
     }
 
-    fn pull(
+    pub(crate) fn pull(
         &self,
         keys: &[u64],
         b: BatchId,
@@ -129,14 +131,44 @@ impl<'a> Backend<'a> {
         }
     }
 
-    fn end_pull_phase(&self, b: BatchId) -> Result<oe_core::engine::MaintenanceReport, NetError> {
+    /// Issue a pull without completing it — the pipelined prefetch path.
+    /// In-process engines defer everything to completion; wire clients
+    /// mint the idempotence token and encode the frame eagerly.
+    pub(crate) fn pull_issue(&self, keys: &[u64], b: BatchId) -> Result<PullTicket, NetError> {
+        match self {
+            Backend::Engine(_) => Ok(PullTicket::deferred(keys.to_vec(), b)),
+            Backend::Client(c) => c.pull_issue(keys, b),
+        }
+    }
+
+    /// Complete an issued pull; byte-identical weights and cost to
+    /// [`Backend::pull`] over the ticket's keys.
+    pub(crate) fn pull_complete(
+        &self,
+        ticket: PullTicket,
+        out: &mut Vec<f32>,
+        cost: &mut Cost,
+    ) -> Result<(), NetError> {
+        match self {
+            Backend::Engine(e) => {
+                e.pull(ticket.keys(), ticket.batch(), out, cost);
+                Ok(())
+            }
+            Backend::Client(c) => c.pull_complete(ticket, out, cost),
+        }
+    }
+
+    pub(crate) fn end_pull_phase(
+        &self,
+        b: BatchId,
+    ) -> Result<oe_core::engine::MaintenanceReport, NetError> {
         match self {
             Backend::Engine(e) => Ok(e.end_pull_phase(b)),
             Backend::Client(c) => c.flush_batch(b),
         }
     }
 
-    fn push(
+    pub(crate) fn push(
         &self,
         keys: &[u64],
         grads: &[f32],
@@ -152,28 +184,55 @@ impl<'a> Backend<'a> {
         }
     }
 
-    fn request_checkpoint(&self, b: BatchId) -> Result<Cost, NetError> {
+    /// Out-of-band apply for the async push queue: same state
+    /// transition as [`Backend::push`], accounted off the critical
+    /// path by engines that care. Clients fall back to a plain push.
+    pub(crate) fn push_async(
+        &self,
+        keys: &[u64],
+        grads: &[f32],
+        b: BatchId,
+        cost: &mut Cost,
+    ) -> Result<(), NetError> {
+        match self {
+            Backend::Engine(e) => {
+                e.push_async(keys, grads, b, cost);
+                Ok(())
+            }
+            Backend::Client(c) => c.push_batch(keys, grads, b, cost),
+        }
+    }
+
+    pub(crate) fn request_checkpoint(&self, b: BatchId) -> Result<Cost, NetError> {
         match self {
             Backend::Engine(e) => Ok(e.request_checkpoint(b)),
             Backend::Client(c) => c.checkpoint(b),
         }
     }
 
-    fn stats(&self) -> Result<oe_core::stats::StatsSnapshot, NetError> {
+    pub(crate) fn stats(&self) -> Result<oe_core::stats::StatsSnapshot, NetError> {
         match self {
             Backend::Engine(e) => Ok(e.stats()),
             Backend::Client(c) => c.snapshot_stats(),
         }
     }
 
-    fn committed_checkpoint(&self) -> Result<BatchId, NetError> {
+    pub(crate) fn committed_checkpoint(&self) -> Result<BatchId, NetError> {
         match self {
             Backend::Engine(e) => Ok(e.committed_checkpoint()),
             Backend::Client(c) => c.committed(),
         }
     }
 
-    fn failover_resume(&self) -> Option<FailoverEvent> {
+    /// Costless diagnostic read of one key's weights (eval paths).
+    pub(crate) fn read_weights(&self, key: u64) -> Option<Vec<f32>> {
+        match self {
+            Backend::Engine(e) => e.read_weights(key),
+            Backend::Client(c) => c.weights_of(key).ok().flatten(),
+        }
+    }
+
+    pub(crate) fn failover_resume(&self) -> Option<FailoverEvent> {
         match self {
             Backend::Engine(_) => None,
             Backend::Client(c) => c.failover_resume(),
@@ -181,29 +240,43 @@ impl<'a> Backend<'a> {
     }
 }
 
-/// Immutable per-run context shared by every batch.
-struct BatchCtx {
-    dim: usize,
-    spec: WorkloadSpec,
-    pull_model: ContentionModel,
-    maint_model: ContentionModel,
-    ckpt_model: ContentionModel,
+/// Immutable per-run context shared by every batch (and, unchanged, by
+/// every pipelined window — the contention arithmetic must be identical
+/// for the staleness-0 bit-identity guarantee to hold).
+pub(crate) struct BatchCtx {
+    pub(crate) dim: usize,
+    pub(crate) spec: WorkloadSpec,
+    pub(crate) pull_model: ContentionModel,
+    pub(crate) maint_model: ContentionModel,
+    pub(crate) ckpt_model: ContentionModel,
+}
+
+impl BatchCtx {
+    pub(crate) fn new(dim: usize, spec: WorkloadSpec, cfg: &TrainerConfig) -> Self {
+        Self {
+            dim,
+            spec,
+            pull_model: ContentionModel::new(cfg.ps_service_threads, cfg.burst_streams()),
+            maint_model: ContentionModel::new(cfg.maintainer_threads, cfg.maintainer_threads),
+            ckpt_model: ContentionModel::new(cfg.ps_service_threads, 1),
+        }
+    }
 }
 
 /// Mutable per-run accumulators.
-struct RunAcc {
-    phases: PhaseBreakdown,
-    loss_sum: f64,
-    loss_count: u64,
-    ckpts_taken: u64,
-    pull_hist: Histogram,
-    maintain_hist: Histogram,
-    push_hist: Histogram,
-    batch_hist: Histogram,
+pub(crate) struct RunAcc {
+    pub(crate) phases: PhaseBreakdown,
+    pub(crate) loss_sum: f64,
+    pub(crate) loss_count: u64,
+    pub(crate) ckpts_taken: u64,
+    pub(crate) pull_hist: Histogram,
+    pub(crate) maintain_hist: Histogram,
+    pub(crate) push_hist: Histogram,
+    pub(crate) batch_hist: Histogram,
 }
 
 impl RunAcc {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self {
             phases: PhaseBreakdown::default(),
             loss_sum: 0.0,
@@ -269,21 +342,6 @@ impl<'a> SyncTrainer<'a> {
         &self.clock
     }
 
-    /// Synthetic teacher label: depends on the hottest key of the input
-    /// so the DeepFM has learnable signal.
-    fn teacher_label(keys: &[u64], batch: u64, input: usize) -> f32 {
-        let hot = keys.iter().copied().min().unwrap_or(0);
-        let h = oe_core::init::splitmix64(hot.wrapping_mul(0x9E37) ^ 0xF00D);
-        let noise = oe_core::init::splitmix64(batch ^ (input as u64) << 20 ^ hot);
-        // ~70% determined by the key, 30% noise.
-        let p = if h & 1 == 0 { 0.8 } else { 0.2 };
-        if ((noise >> 16) as f64 / (1u64 << 48) as f64) < p {
-            1.0
-        } else {
-            0.0
-        }
-    }
-
     /// Run `batches` batches starting at `start_batch` (1-based batch
     /// ids; pass the recovery resume point + 1 after a crash). Panics
     /// on backend failure — use [`SyncTrainer::try_run`] with remote
@@ -328,16 +386,7 @@ impl<'a> SyncTrainer<'a> {
         batches: u64,
         mut hook: impl FnMut(BatchId),
     ) -> Result<TrainReport, NetError> {
-        let ctx = BatchCtx {
-            dim: self.backend.dim(),
-            spec: self.gen.spec().clone(),
-            pull_model: ContentionModel::new(self.cfg.ps_service_threads, self.cfg.burst_streams()),
-            maint_model: ContentionModel::new(
-                self.cfg.maintainer_threads,
-                self.cfg.maintainer_threads,
-            ),
-            ckpt_model: ContentionModel::new(self.cfg.ps_service_threads, 1),
-        };
+        let ctx = BatchCtx::new(self.backend.dim(), self.gen.spec().clone(), &self.cfg);
 
         let stats0 = self.backend.stats()?;
         let mut acc = RunAcc::new();
@@ -453,38 +502,16 @@ impl<'a> SyncTrainer<'a> {
         let mut net_push: Nanos = 0;
         for (wb, weights) in &worker_data {
             let keys = &wb.unique_keys;
-            let mut grads = vec![0.0f32; keys.len() * dim];
-            match &mut self.cfg.mode {
-                TrainMode::Synthetic { grad_scale } => {
-                    let scale = *grad_scale;
-                    for (i, &k) in keys.iter().enumerate() {
-                        for d in 0..dim {
-                            grads[i * dim + d] = init_weight(b ^ 0x5A5A, k, d, scale);
-                        }
-                    }
-                }
-                TrainMode::DeepFm(_) => {
-                    let model = self.model.as_mut().expect("model built");
-                    let mut emb = vec![0.0f32; ctx.spec.fields * dim];
-                    for (ii, input) in wb.input_keys.iter().enumerate() {
-                        for (f, k) in input.iter().enumerate() {
-                            let idx = keys.binary_search(k).expect("key pulled");
-                            emb[f * dim..(f + 1) * dim]
-                                .copy_from_slice(&weights[idx * dim..(idx + 1) * dim]);
-                        }
-                        let label = Self::teacher_label(input, b, ii);
-                        let (loss, d_emb) = model.train_example(&emb, &[], label);
-                        acc.loss_sum += loss as f64;
-                        acc.loss_count += 1;
-                        for (f, k) in input.iter().enumerate() {
-                            let idx = keys.binary_search(k).expect("key pulled");
-                            for d in 0..dim {
-                                grads[idx * dim + d] += d_emb[f * dim + d];
-                            }
-                        }
-                    }
-                }
-            }
+            let grads = worker_grads(
+                &self.cfg.mode,
+                &mut self.model,
+                wb,
+                weights,
+                b,
+                dim,
+                ctx.spec.fields,
+                acc,
+            );
             backend.push(keys, &grads, b, &mut push_cost)?;
             net_push = net_push.max(self.cfg.net.push_ns(keys.len(), dim));
         }
@@ -528,6 +555,71 @@ impl<'a> SyncTrainer<'a> {
         acc.phases.accumulate(&batch_phase);
         Ok(())
     }
+}
+
+/// Synthetic teacher label: depends on the hottest key of the input
+/// so the DeepFM has learnable signal.
+pub(crate) fn teacher_label(keys: &[u64], batch: u64, input: usize) -> f32 {
+    let hot = keys.iter().copied().min().unwrap_or(0);
+    let h = oe_core::init::splitmix64(hot.wrapping_mul(0x9E37) ^ 0xF00D);
+    let noise = oe_core::init::splitmix64(batch ^ (input as u64) << 20 ^ hot);
+    // ~70% determined by the key, 30% noise.
+    let p = if h & 1 == 0 { 0.8 } else { 0.2 };
+    if ((noise >> 16) as f64 / (1u64 << 48) as f64) < p {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// One worker's gradient burst for batch `b` — shared verbatim by the
+/// synchronous and pipelined trainers so both paths produce identical
+/// gradients (and loss accounting) from identical pulled weights.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn worker_grads(
+    mode: &TrainMode,
+    model: &mut Option<DeepFm>,
+    wb: &oe_workload::Batch,
+    weights: &[f32],
+    b: BatchId,
+    dim: usize,
+    fields: usize,
+    acc: &mut RunAcc,
+) -> Vec<f32> {
+    let keys = &wb.unique_keys;
+    let mut grads = vec![0.0f32; keys.len() * dim];
+    match mode {
+        TrainMode::Synthetic { grad_scale } => {
+            let scale = *grad_scale;
+            for (i, &k) in keys.iter().enumerate() {
+                for d in 0..dim {
+                    grads[i * dim + d] = init_weight(b ^ 0x5A5A, k, d, scale);
+                }
+            }
+        }
+        TrainMode::DeepFm(_) => {
+            let model = model.as_mut().expect("model built");
+            let mut emb = vec![0.0f32; fields * dim];
+            for (ii, input) in wb.input_keys.iter().enumerate() {
+                for (f, k) in input.iter().enumerate() {
+                    let idx = keys.binary_search(k).expect("key pulled");
+                    emb[f * dim..(f + 1) * dim]
+                        .copy_from_slice(&weights[idx * dim..(idx + 1) * dim]);
+                }
+                let label = teacher_label(input, b, ii);
+                let (loss, d_emb) = model.train_example(&emb, &[], label);
+                acc.loss_sum += loss as f64;
+                acc.loss_count += 1;
+                for (f, k) in input.iter().enumerate() {
+                    let idx = keys.binary_search(k).expect("key pulled");
+                    for d in 0..dim {
+                        grads[idx * dim + d] += d_emb[f * dim + d];
+                    }
+                }
+            }
+        }
+    }
+    grads
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 pub mod analyze;
 pub mod criteo;
 pub mod generator;
+pub mod lookahead;
 pub mod skew;
 pub mod storm;
 pub mod trace;
@@ -28,6 +29,7 @@ pub mod trace;
 pub use analyze::{che_miss_rate, top_share_empirical, RankFrequency};
 pub use criteo::{CriteoSample, CriteoSynth};
 pub use generator::{Batch, WorkloadGen, WorkloadSpec};
+pub use lookahead::LookaheadGen;
 pub use skew::SkewModel;
 pub use storm::{StormGen, StormSpec};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};

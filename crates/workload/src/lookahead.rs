@@ -1,0 +1,131 @@
+//! One-batch lookahead over [`WorkloadGen`] for pipelined training.
+//!
+//! The pipelined trainer needs batch `t+1`'s key set *during* batch
+//! `t`'s compute (to issue the prefetch pull), and then the full batch
+//! again one window later (to train on it). Regenerating is correct —
+//! the generator is a pure function of `(spec, batch, worker)` — but
+//! wasteful: sampling `batch_size × fields` ranks twice doubles the
+//! host-side generation work of every batch. [`LookaheadGen`] memoizes
+//! the most recent global batch so the peek-then-consume pattern
+//! generates each batch exactly once, while staying bit-identical to
+//! calling [`WorkloadGen::global_batch`] directly.
+
+use crate::generator::{Batch, Key, WorkloadGen, WorkloadSpec};
+
+/// A [`WorkloadGen`] with a single-slot memo of the last global batch.
+pub struct LookaheadGen {
+    gen: WorkloadGen,
+    slot: Option<(u64, Vec<Batch>)>,
+    generations: u64,
+}
+
+impl LookaheadGen {
+    /// Wrap a generator.
+    pub fn new(gen: WorkloadGen) -> Self {
+        Self {
+            gen,
+            slot: None,
+            generations: 0,
+        }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &WorkloadSpec {
+        self.gen.spec()
+    }
+
+    /// The wrapped generator.
+    pub fn inner(&self) -> &WorkloadGen {
+        &self.gen
+    }
+
+    /// How many global batches were actually generated (memo misses).
+    /// A peek-then-consume pipeline over `n` batches should report `n`,
+    /// not `2n`.
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+
+    /// All workers' shares of `batch_idx`, memoized. Bit-identical to
+    /// [`WorkloadGen::global_batch`].
+    pub fn global_batch(&mut self, batch_idx: u64) -> &[Batch] {
+        if self.slot.as_ref().map(|(b, _)| *b) != Some(batch_idx) {
+            self.slot = Some((batch_idx, self.gen.global_batch(batch_idx)));
+            self.generations += 1;
+        }
+        &self.slot.as_ref().expect("just filled").1
+    }
+
+    /// The union of all workers' deduplicated keys for `batch_idx`,
+    /// sorted ascending — the set a prefetcher wants to stage before
+    /// the batch starts. Shares the memo with [`Self::global_batch`].
+    pub fn unique_union(&mut self, batch_idx: u64) -> Vec<Key> {
+        let batches = self.global_batch(batch_idx);
+        let mut union: Vec<Key> = batches
+            .iter()
+            .flat_map(|b| b.unique_keys.iter().copied())
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_matches_direct_generation() {
+        let spec = WorkloadSpec::small();
+        let direct = WorkloadGen::new(spec.clone());
+        let mut la = LookaheadGen::new(WorkloadGen::new(spec));
+        for b in [0u64, 1, 2] {
+            let d = direct.global_batch(b);
+            let m = la.global_batch(b);
+            assert_eq!(d.len(), m.len());
+            for (x, y) in d.iter().zip(m.iter()) {
+                assert_eq!(x.input_keys, y.input_keys);
+                assert_eq!(x.unique_keys, y.unique_keys);
+            }
+        }
+    }
+
+    #[test]
+    fn peek_then_consume_generates_once() {
+        let mut la = LookaheadGen::new(WorkloadGen::new(WorkloadSpec::small()));
+        let n = 5u64;
+        // Pipelined access pattern: prefetch-peek t+1 while training t,
+        // then consume t+1 at the next window.
+        la.unique_union(0);
+        for t in 0..n {
+            la.global_batch(t);
+            if t + 1 < n {
+                la.unique_union(t + 1);
+            }
+        }
+        // Each batch is generated exactly once: the peek fills the slot
+        // and the consume one window later hits it.
+        assert_eq!(la.generations(), n);
+        // Repeated calls for the same batch never regenerate.
+        let before = la.generations();
+        la.global_batch(n - 1);
+        la.unique_union(n - 1);
+        assert_eq!(la.generations(), before);
+    }
+
+    #[test]
+    fn unique_union_is_sorted_dedup_superset() {
+        let mut la = LookaheadGen::new(WorkloadGen::new(WorkloadSpec::small()));
+        let union = la.unique_union(3);
+        let mut sorted = union.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(union, sorted);
+        for b in la.global_batch(3).to_vec() {
+            for k in b.unique_keys {
+                assert!(union.binary_search(&k).is_ok());
+            }
+        }
+    }
+}

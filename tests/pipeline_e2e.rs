@@ -1,0 +1,297 @@
+//! End-to-end pipelined training: the staleness-0 pipelined schedule
+//! must be bit-identical to the synchronous trainer — same weights,
+//! same engine counters, same virtual nanoseconds — for every
+//! optimizer; bounded staleness must strictly improve virtual time
+//! while keeping the conflict accounting honest; and placement-plane
+//! cutovers must invalidate prefetched rows for moved keys exactly
+//! once.
+
+use openembedding::cache::PrefetchCache;
+use openembedding::prelude::*;
+
+const DIM: usize = 8;
+
+fn spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        num_keys: 4_000,
+        fields: 6,
+        batch_size: 128,
+        workers: 2,
+        skew: SkewModel::paper_fit(),
+        seed,
+        drift_keys_per_batch: 0,
+    }
+}
+
+fn node_with(opt: OptimizerKind) -> PsNode {
+    let mut cfg = NodeConfig::small(DIM);
+    cfg.optimizer = opt;
+    cfg.cache_bytes = 400 * cfg.bytes_per_cached_entry();
+    PsNode::new(cfg)
+}
+
+fn optimizers() -> Vec<(&'static str, OptimizerKind)> {
+    vec![
+        ("sgd", OptimizerKind::Sgd { lr: 0.1 }),
+        (
+            "adagrad",
+            OptimizerKind::Adagrad {
+                lr: 0.05,
+                eps: 1e-8,
+            },
+        ),
+        (
+            "adam",
+            OptimizerKind::Adam {
+                lr: 0.01,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+        ),
+    ]
+}
+
+/// staleness = 0 reproduces the synchronous trainer bit-for-bit:
+/// weights, logical counters, and the virtual clock all agree, for
+/// every optimizer (optimizer state is the part an out-of-order or
+/// double-applied gradient would corrupt first).
+#[test]
+fn staleness_zero_bit_identical_to_sync_across_optimizers() {
+    for (name, opt) in optimizers() {
+        let sync_node = node_with(opt);
+        let gen = WorkloadGen::new(spec(21));
+        let mut sync = SyncTrainer::new(&sync_node, &gen, TrainerConfig::paper(2));
+        let sr = sync.run(1, 20);
+
+        let pipe_node = node_with(opt);
+        let mut pipe = PipelinedTrainer::new(
+            &pipe_node,
+            spec(21),
+            TrainerConfig::paper(2),
+            PipelineConfig::sync(),
+        );
+        let pr = pipe.run(1, 20);
+
+        assert_eq!(sr.total_ns, pr.train.total_ns, "{name}: virtual time");
+        assert_eq!(sr.stats, pr.train.stats, "{name}: engine counters");
+        assert_eq!(sr.phases, pr.train.phases, "{name}: phase breakdown");
+        assert_eq!(
+            pr.stale_read_occurrences, 0,
+            "{name}: sync has no staleness"
+        );
+        assert_eq!(pr.prefetch_hits, 0, "{name}: no cache at staleness 0");
+        for k in 0..spec(21).num_keys {
+            assert_eq!(
+                sync_node.read_weights(k),
+                pipe_node.read_weights(k),
+                "{name}: weights of key {k}"
+            );
+        }
+    }
+}
+
+/// The checkpointed variant: barriers drain the queue, so a committed
+/// checkpoint never misses a gradient, and at staleness 0 the entire
+/// checkpoint schedule matches the sync trainer batch for batch.
+#[test]
+fn staleness_zero_checkpoint_schedule_matches_sync() {
+    let mk_cfg = || {
+        let mut cfg = TrainerConfig::paper(2);
+        cfg.ckpt = CheckpointScheduler::every(2);
+        cfg
+    };
+    let sync_node = node_with(OptimizerKind::Sgd { lr: 0.1 });
+    let gen = WorkloadGen::new(spec(9));
+    let sr = SyncTrainer::new(&sync_node, &gen, mk_cfg()).run(1, 12);
+
+    let pipe_node = node_with(OptimizerKind::Sgd { lr: 0.1 });
+    let pr =
+        PipelinedTrainer::new(&pipe_node, spec(9), mk_cfg(), PipelineConfig::sync()).run(1, 12);
+
+    assert_eq!(sr.total_ns, pr.train.total_ns);
+    assert_eq!(sr.checkpoints_taken, pr.train.checkpoints_taken);
+    assert_eq!(sr.committed_checkpoint, pr.train.committed_checkpoint);
+}
+
+/// Bounded staleness strictly improves virtual time on this
+/// pull/push-heavy shape, hides work under the GPU lane, reports a
+/// real prefetch hit rate, and counts its stale reads.
+#[test]
+fn bounded_staleness_improves_virtual_time() {
+    let run = |pcfg: PipelineConfig| {
+        let n = node_with(OptimizerKind::Adagrad {
+            lr: 0.05,
+            eps: 1e-8,
+        });
+        PipelinedTrainer::new(&n, spec(33), TrainerConfig::paper(2), pcfg).run(1, 40)
+    };
+    let sync = run(PipelineConfig::sync());
+    for k in [1usize, 2, 4] {
+        let r = run(PipelineConfig::bounded(k, 8192));
+        assert!(
+            r.train.total_ns < sync.train.total_ns,
+            "staleness {k} beats sync: {} vs {}",
+            r.train.total_ns,
+            sync.train.total_ns
+        );
+        assert!(
+            r.prefetch_hit_rate > 0.5,
+            "staleness {k}: {}",
+            r.prefetch_hit_rate
+        );
+        assert!(
+            r.stale_read_occurrences > 0,
+            "staleness {k} admits staleness"
+        );
+        assert!(r.hidden_ns > 0);
+    }
+}
+
+/// Prefetch-cache accounting across seeds: every served key occurrence
+/// is classified as exactly one of hit or miss (their sum equals the
+/// number of unique keys served per worker per batch), and residency
+/// never exceeds capacity.
+#[test]
+fn prefetch_counters_sum_to_total_accesses_across_seeds() {
+    for seed in [3u64, 21, 777] {
+        let n = node_with(OptimizerKind::Sgd { lr: 0.1 });
+        let mut t = PipelinedTrainer::new(
+            &n,
+            spec(seed),
+            TrainerConfig::paper(2),
+            PipelineConfig::bounded(2, 1024),
+        );
+        let r = t.run(1, 25);
+
+        let gen = WorkloadGen::new(spec(seed));
+        let expected: u64 = (1..=25u64)
+            .flat_map(|b| (0..2usize).map(move |w| (b, w)))
+            .map(|(b, w)| gen.worker_batch(b, w).unique_keys.len() as u64)
+            .sum();
+        assert_eq!(
+            r.prefetch_hits + r.prefetch_misses,
+            expected,
+            "seed {seed}: every access is exactly one of hit/miss"
+        );
+        assert!(r.prefetch_hits > 0, "seed {seed}");
+        assert!(r.prefetch_misses > 0, "seed {seed}: the cold tail streams");
+    }
+}
+
+/// A mid-epoch shard-migration cutover invalidates prefetched rows for
+/// moved keys exactly once — the drain is destructive, a second fence
+/// drops nothing — and the pipelined run over the migrated cluster
+/// produces the same weights as an unmigrated one.
+#[test]
+fn migration_cutover_invalidates_prefetched_keys_exactly_once() {
+    let cluster_with = |nodes: usize| -> PlacedCluster<PsNode> {
+        let mut cfg = NodeConfig::small(DIM);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 0.1 };
+        cfg.cache_bytes = 400 * cfg.bytes_per_cached_entry();
+        PlacedCluster::new((0..nodes).map(|_| PsNode::new(cfg.clone())).collect())
+    };
+
+    // -- unit-level exactly-once: cutover → drain → fence → empty --
+    let cluster = cluster_with(3);
+    let moves: Vec<(u64, usize)> = (0..spec(77).num_keys)
+        .filter(|&k| cluster.node_of(k) == 0)
+        .take(64)
+        .map(|k| (k, 1))
+        .collect();
+    assert!(moves.len() > 10);
+    let mut cost = Cost::new();
+    // Seed the keys so the migration has entries to copy.
+    let keys: Vec<u64> = moves.iter().map(|&(k, _)| k).collect();
+    let mut out = Vec::new();
+    cluster.pull(&keys, 1, &mut out, &mut cost);
+    cluster.end_pull_phase(1);
+    cluster.push(&keys, &vec![0.01; keys.len() * DIM], 1, &mut cost);
+    cluster.start_migration(
+        MigrationSpec {
+            moves: moves.clone(),
+            double_write_batches: 2,
+        },
+        1,
+        &mut cost,
+    );
+    // Drive batches through the double-write window to the cutover.
+    for b in 2..=4u64 {
+        cluster.pull(&keys, b, &mut out, &mut cost);
+        cluster.end_pull_phase(b);
+        cluster.push(&keys, &vec![0.01; keys.len() * DIM], b, &mut cost);
+    }
+    assert!(!cluster.migration_active(), "window closed");
+    let moved = cluster.drain_moved_keys();
+    assert_eq!(moved.len(), moves.len(), "every moved key surfaced");
+
+    let mut cache = PrefetchCache::new(256, DIM);
+    let sketch: std::collections::HashMap<u64, u64> = keys.iter().map(|&k| (k, 10)).collect();
+    let resident = moved
+        .iter()
+        .filter(|&&k| cache.insert(k, &[0.5; DIM], &sketch))
+        .count() as u64;
+    assert!(resident > 0);
+    assert_eq!(cache.invalidate(&moved), resident, "first fence drops all");
+    assert_eq!(cache.invalidate(&moved), 0, "second fence drops nothing");
+    assert!(
+        cluster.drain_moved_keys().is_empty(),
+        "drain is destructive: moved keys surface exactly once"
+    );
+
+    // -- trainer-integrated: migration is invisible to training --
+    let migrated = cluster_with(3);
+    let reference = cluster_with(3);
+    let moves: Vec<(u64, usize)> = (0..spec(77).num_keys)
+        .filter(|&k| migrated.node_of(k) == 0)
+        .map(|k| (k, 1 + (k as usize % 2)))
+        .collect();
+    let mk = || {
+        let mut cfg = TrainerConfig::paper(2);
+        cfg.mode = TrainMode::Synthetic { grad_scale: 0.01 };
+        cfg
+    };
+    let report_m = {
+        let mut t =
+            PipelinedTrainer::new(&migrated, spec(77), mk(), PipelineConfig::bounded(2, 2048));
+        t.set_coherence(&migrated);
+        t.try_run_with_hook(1, 24, |b| {
+            if b == 8 {
+                let n = migrated.start_migration(
+                    MigrationSpec {
+                        moves: moves.clone(),
+                        double_write_batches: 4,
+                    },
+                    8,
+                    &mut Cost::new(),
+                );
+                assert!(n > 0);
+            }
+        })
+        .expect("in-process cluster is infallible")
+    };
+    let report_r = {
+        let mut t =
+            PipelinedTrainer::new(&reference, spec(77), mk(), PipelineConfig::bounded(2, 2048));
+        t.run(1, 24)
+    };
+
+    assert!(!migrated.migration_active());
+    assert!(
+        migrated.drain_moved_keys().is_empty(),
+        "the trainer's coherence drain consumed the moved keys"
+    );
+    assert!(
+        report_m.prefetch_invalidations >= report_r.prefetch_invalidations,
+        "the cutover fence added invalidations: {} vs {}",
+        report_m.prefetch_invalidations,
+        report_r.prefetch_invalidations
+    );
+    for k in 0..spec(77).num_keys {
+        assert_eq!(
+            migrated.read_weights(k),
+            reference.read_weights(k),
+            "key {k} diverged across the migration"
+        );
+    }
+}
