@@ -66,4 +66,10 @@ cargo test --release -q -p openembedding --test pipeline_e2e
 echo "==> pipelined-training frontier bench (smoke, gated)"
 cargo run --release -p oe-bench --bin pipeline -- --smoke --out BENCH_pipeline.json "${GATE_FLAGS[@]}"
 
+echo "==> serving-plane suite (snapshot-flip torture, ANN recall floor)"
+cargo test --release -q -p oe-serve
+
+echo "==> SLO-driven serving bench (smoke, gated)"
+cargo run --release -p oe-bench --bin serve -- --smoke --out BENCH_serve.json "${GATE_FLAGS[@]}"
+
 echo "CI OK"

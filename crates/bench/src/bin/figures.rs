@@ -19,7 +19,7 @@ fn main() {
         .collect();
     if ids.is_empty() {
         eprintln!(
-            "usage: figures [--quick] <id>...\n  ids: all table1 table2 table5 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 latency ablations pullpush kernels failover crashmc rebalance pipeline"
+            "usage: figures [--quick] <id>...\n  ids: all table1 table2 table5 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 latency ablations pullpush kernels failover crashmc rebalance pipeline serve"
         );
         std::process::exit(2);
     }
@@ -69,6 +69,7 @@ fn main() {
             "crashmc" => figures::crashmc(&sc),
             "rebalance" => figures::rebalance(&sc),
             "pipeline" => figures::pipeline(&sc),
+            "serve" => figures::serve(&sc),
             other => {
                 eprintln!("unknown figure id: {other}");
                 std::process::exit(2);

@@ -1,0 +1,68 @@
+//! Serving-plane bench: recall/latency tradeoff sweep plus open-loop
+//! QPS replay with a mid-traffic snapshot flip, JSON artifact emitter,
+//! trajectory recorder, and perf-regression gate.
+//!
+//! ```sh
+//! cargo run --release -p oe-bench --bin serve            # paper shape
+//! cargo run --release -p oe-bench --bin serve -- --smoke # CI shape
+//! cargo run --release -p oe-bench --bin serve -- --smoke \
+//!     --out BENCH_serve.json \
+//!     --record BENCH_trajectory.json \
+//!     --gate BENCH_baseline.json          # CI: fail on >30% regression
+//! ```
+//!
+//! Recall, virtual speedups, and the consistency bit are deterministic
+//! and gated absolutely; wall-clock latency enters the gate only as one
+//! geomean.
+
+use oe_bench::serve::{metrics, print_report, run, ServeBenchConfig};
+use oe_bench::trajectory::record_and_gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut path_arg = |flag: &str| match it.next() {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("{flag} requires a path");
+                std::process::exit(2);
+            }
+        };
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(path_arg("--out")),
+            "--record" => record = Some(path_arg("--record")),
+            "--gate" => gate = Some(path_arg("--gate")),
+            "--update-baseline" => update = true,
+            other => {
+                eprintln!(
+                    "usage: serve [--smoke] [--out PATH] [--record TRAJECTORY] \
+                     [--gate BASELINE] [--update-baseline]   (unknown arg: {other})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = if smoke {
+        ServeBenchConfig::smoke()
+    } else {
+        ServeBenchConfig::paper()
+    };
+    let report = run(&cfg);
+    print_report(&report);
+    if let Some(path) = &out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, json + "\n").expect("write bench artifact");
+        println!("wrote {path}");
+    }
+    let m = metrics(&report);
+    if !record_and_gate("serve", &m, record.as_deref(), gate.as_deref(), update) {
+        std::process::exit(1);
+    }
+}

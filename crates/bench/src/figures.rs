@@ -795,6 +795,19 @@ pub fn pipeline(sc: &Scenario) {
     crate::pipeline::print_report(&r);
 }
 
+/// serve — exact-vs-LSH recall/latency tradeoff and the open-loop QPS
+/// replay with a mid-traffic snapshot flip (see [`crate::serve`]).
+pub fn serve(sc: &Scenario) {
+    hr("serve — snapshot-flip serving and ANN retrieval under load");
+    let cfg = if sc.batch_size < 1024 {
+        crate::serve::ServeBenchConfig::smoke()
+    } else {
+        crate::serve::ServeBenchConfig::paper()
+    };
+    let r = crate::serve::run(&cfg);
+    crate::serve::print_report(&r);
+}
+
 /// Run everything.
 pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     table1(sc);
@@ -820,4 +833,5 @@ pub fn all(sc: &Scenario, ckpt_interval_ns: u64) {
     crashmc(sc);
     rebalance(sc);
     pipeline(sc);
+    serve(sc);
 }

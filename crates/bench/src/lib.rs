@@ -32,6 +32,9 @@
 //!   kernels (scalar vs SIMD-shaped vs batched) and the zero-copy
 //!   codec (owned vs borrowed encode/decode), emitted as
 //!   `BENCH_kernels.json` by the `kernels` binary.
+//! - [`serve`] — serving-plane bench: exact-vs-LSH recall/latency
+//!   tradeoff plus an open-loop QPS replay with a mid-traffic snapshot
+//!   flip, emitted as `BENCH_serve.json` by the `serve` binary.
 //! - [`trajectory`] — persistent perf trajectory: appends each gated
 //!   run's metrics to `BENCH_trajectory.json` keyed by git commit and
 //!   fails CI when a metric regresses >30% below
@@ -48,6 +51,7 @@ pub mod pipeline;
 pub mod pullpush;
 pub mod rebalance;
 pub mod scenario;
+pub mod serve;
 pub mod trajectory;
 
 pub use crashmc::{CrashMcBenchConfig, CrashMcReport};
@@ -57,4 +61,5 @@ pub use pipeline::{PipelineBenchConfig, PipelineBenchReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
 pub use rebalance::{RebalanceBenchConfig, RebalanceReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};
+pub use serve::{ServeBenchConfig, ServeReport};
 pub use trajectory::{GateOutcome, DEFAULT_THRESHOLD};

@@ -82,7 +82,10 @@ pub mod prelude {
         loopback, CheckpointReplica, FaultInjector, FaultSpec, NetConfig, PsClient, PsServer,
         RemotePs, RetryPolicy,
     };
-    pub use oe_serve::{load_image, save_image, ServingNode};
+    pub use oe_serve::{
+        load_image, recall_at_k, save_image, AnnConfig, CheckpointPublisher, ExactScan,
+        LshRetriever, Retriever, ServingNode, Snapshot, SnapshotHandle, SnapshotReader,
+    };
     pub use oe_simdevice::{Cost, CostKind, DeviceTiming, Media, MediaConfig, VirtualClock};
     pub use oe_telemetry::{Histogram, HistogramSnapshot, Phase, PhaseTimes, Registry};
     pub use oe_train::model::{DeepFm, DeepFmConfig};

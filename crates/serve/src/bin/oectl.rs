@@ -6,6 +6,7 @@
 //! oectl verify <image>          # checksum-verify every live slot
 //! oectl dump   <image> <key>    # full payload of one key
 //! oectl top    <image> <key> k  # top-k nearest items to <key>'s embedding
+//!                               # (--ann scores through the LSH index)
 //! oectl metrics <image>         # replay a smoke workload, print telemetry
 //! ```
 //!
@@ -13,7 +14,7 @@
 //! example) — a checkpointed pool's persistence-domain bytes.
 
 use oe_pmem::scan::recover;
-use oe_serve::{load_image, ServingNode};
+use oe_serve::{load_image, AnnConfig, ExactScan, LshRetriever, Retriever, ServingNode, Snapshot};
 use oe_simdevice::{Cost, Media};
 use std::path::Path;
 use std::process::exit;
@@ -21,13 +22,15 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  oectl info    <image>\n  oectl scan    <image> [limit]\n  oectl verify  <image>\n  oectl dump    <image> <key>\n  oectl top     <image> <key> [k]\n  oectl metrics <image> [batches]"
+        "usage:\n  oectl info    <image>\n  oectl scan    <image> [limit]\n  oectl verify  <image>\n  oectl dump    <image> <key>\n  oectl top     <image> <key> [k] [--ann]\n  oectl metrics <image> [batches]"
     );
     exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let ann = args.iter().any(|a| a == "--ann");
+    args.retain(|a| a != "--ann");
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), Path::new(p)),
         _ => usage(),
@@ -106,8 +109,10 @@ fn main() {
                 .get(2)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or_else(|| usage());
-            let node = open_serving(image);
-            match node.read_payload(key, &mut cost) {
+            let node = open_serving(image, false);
+            let (payload, c) = node.snapshot().payload(key);
+            cost.merge(&c);
+            match payload {
                 Some(p) => {
                     println!("key {key} @ checkpoint {}", node.checkpoint());
                     println!("weights : {:?}", &p[..node.dim().min(p.len())]);
@@ -127,15 +132,22 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or_else(|| usage());
             let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
-            let node = open_serving(image);
-            let mut query = Vec::new();
-            if !node.lookup(key, &mut query, &mut cost) {
+            let node = open_serving(image, ann);
+            // The query is a borrow into the snapshot arena — no copy.
+            let (query, c) = node.snapshot().lookup(key);
+            cost.merge(&c);
+            let Some(query) = query else {
                 eprintln!("oectl: key {key} not found");
                 exit(1);
-            }
-            let candidates: Vec<u64> = node.entries().map(|(k, _)| k).collect();
-            println!("top-{k} items by dot product with key {key}:");
-            for t in node.top_k(&query, &candidates, k, &mut cost) {
+            };
+            let retriever: &dyn Retriever = if ann { &LshRetriever } else { &ExactScan };
+            let (top, c) = node.retrieve(query, k, retriever);
+            cost.merge(&c);
+            println!(
+                "top-{k} items by dot product with key {key} ({}):",
+                retriever.name()
+            );
+            for t in top {
                 println!("  key {:<12} score {:+.6}", t.key, t.score);
             }
         }
@@ -208,7 +220,7 @@ fn metrics(image: oe_simdevice::CrashImage, batches: u64, cost: &mut Cost) {
     handle.join();
 }
 
-fn open_serving(image: oe_simdevice::CrashImage) -> ServingNode {
+fn open_serving(image: oe_simdevice::CrashImage, ann: bool) -> ServingNode {
     let mut cost = Cost::new();
     // The payload layout stores dim + optimizer state; serve the weight
     // prefix. We infer dim = payload/2 for AdaGrad-style layouts and
@@ -219,8 +231,10 @@ fn open_serving(image: oe_simdevice::CrashImage) -> ServingNode {
         exit(1);
     };
     let dim = pool.payload_f32s();
-    ServingNode::open(image, dim, 4096, &mut cost).unwrap_or_else(|| {
+    let cfg = AnnConfig::paper_default();
+    let snapshot = Snapshot::build(image, dim, ann.then_some(&cfg)).unwrap_or_else(|| {
         eprintln!("oectl: no initialized pool in image");
         exit(1)
-    })
+    });
+    ServingNode::from_snapshot(Arc::new(snapshot))
 }

@@ -1,21 +1,46 @@
 //! # oe-serve
 //!
-//! Serving-side tooling for the parameter server — the paper's system
-//! backs "real-time recommendation services" (§III) and its deployment
-//! story includes hand-off from training to inference:
+//! The serving plane — the paper's system backs "real-time
+//! recommendation services" (§III); this crate makes that hand-off a
+//! first-class, concurrent, SLO-measured product:
 //!
 //! - [`snapshot`] — durable image files: a crashed/checkpointed pool's
 //!   persistence-domain bytes serialized to disk, so checkpoints become
 //!   artifacts that can be copied, archived, and inspected;
-//! - [`serving`] — [`serving::ServingNode`]: opens an image (or live
-//!   crashed media) read-only at its committed checkpoint, serves
-//!   embedding lookups through a small hot cache, and scores
-//!   dot-product top-k recommendations;
-//! - `oectl` — the operations CLI: `info`, `scan`, `verify`, `top`
-//!   over image files (see `src/bin/oectl.rs`).
+//! - [`snapshot_handle`] — the concurrent read path:
+//!   [`snapshot_handle::Snapshot`] (an image decoded once into an
+//!   immutable DRAM row arena; every read is a `&self` borrow paired
+//!   with its virtual [`oe_simdevice::Cost`]),
+//!   [`snapshot_handle::SnapshotHandle`] (epoch-flipped publication —
+//!   a checkpoint commit swaps all readers to the new image atomically
+//!   mid-traffic; the steady-state read path is one atomic load), and
+//!   [`snapshot_handle::CheckpointPublisher`] (wires
+//!   `CheckpointScheduler`-driven commits to `save_image` + flip);
+//! - [`ann`] — candidate retrieval behind the [`ann::Retriever`]
+//!   trait: [`ann::ExactScan`] (reference arm) and
+//!   [`ann::LshRetriever`] over a per-snapshot random-hyperplane
+//!   [`ann::LshIndex`] built at flip time;
+//! - [`serving`] — [`serving::ServingNode`]: the single-image
+//!   compatibility surface, now a thin wrapper over a snapshot with
+//!   deprecated out-param shims;
+//! - `oectl` — the operations CLI: `info`, `scan`, `verify`, `dump`,
+//!   `top [--ann]`, `metrics` over image files (see
+//!   `src/bin/oectl.rs`).
+//!
+//! The redesigned read API is kept honest mechanically: this crate
+//! denies `clippy::ptr_arg` and `clippy::needless_pass_by_ref_mut`,
+//! so a `&mut` parameter that the borrow-returning surface does not
+//! actually need fails CI.
 
+#![deny(clippy::ptr_arg)]
+#![deny(clippy::needless_pass_by_ref_mut)]
+
+pub mod ann;
 pub mod serving;
 pub mod snapshot;
+pub mod snapshot_handle;
 
-pub use serving::{ServingNode, TopK};
+pub use ann::{recall_at_k, AnnConfig, ExactScan, LshIndex, LshRetriever, Retriever, TopK};
+pub use serving::ServingNode;
 pub use snapshot::{load_image, save_image};
+pub use snapshot_handle::{CheckpointPublisher, Snapshot, SnapshotHandle, SnapshotReader};

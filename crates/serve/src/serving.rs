@@ -1,94 +1,85 @@
-//! Read-only serving node.
+//! Read-only serving node (compatibility surface).
 //!
-//! Opens a pool image (or crashed media) at its committed checkpoint and
-//! serves lookups for online inference — the downstream half of the
-//! paper's deployment ("real-time recommendation services for customers
-//! visiting their online shop", §III). The node is immutable: a serving
-//! replica never interferes with training, and a new checkpoint image
-//! swaps in atomically by constructing a fresh node.
+//! [`ServingNode`] predates the concurrent serving plane: it served
+//! point lookups from one static image through `&mut Vec` out-params.
+//! It is now a thin wrapper over an immutable
+//! [`Snapshot`](crate::snapshot_handle::Snapshot) — the image is
+//! decoded once into a DRAM row arena at open time — and its
+//! out-param methods are **deprecated shims** kept for one release.
+//! New code reads through the borrow-returning `Snapshot` API (and
+//! [`crate::snapshot_handle::SnapshotHandle`] for concurrent,
+//! flip-on-checkpoint serving):
+//!
+//! ```text
+//! old: node.lookup(key, &mut out, &mut cost) -> bool
+//! new: node.snapshot().lookup(key)           -> (Option<&[f32]>, Cost)
+//! old: node.top_k(&q, &candidates, k, &mut cost)
+//! new: node.retrieve(&q, k, &ExactScan)      -> (Vec<TopK>, Cost)
+//! ```
 
-use oe_cache::{DramArena, EvictionPolicy, PolicyKind};
+use crate::ann::Retriever;
+use crate::snapshot_handle::Snapshot;
 use oe_core::BatchId;
-use oe_pmem::scan::recover;
-use oe_pmem::{PmemPool, SlotId};
-use oe_simdevice::{Cost, CrashImage, Media};
+use oe_simdevice::{Cost, CrashImage};
 use oe_telemetry::{Counter, Phase, PhaseTimes, Registry};
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A scored recommendation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TopK {
-    /// Item key.
-    pub key: u64,
-    /// Dot-product score against the query embedding.
-    pub score: f32,
-}
+pub use crate::ann::TopK;
 
-struct ServeCache {
-    arena: DramArena,
-    policy: Box<dyn EvictionPolicy>,
-    slot_of: HashMap<u64, u32>,
-}
-
-/// Read-only embedding server over a recovered pool.
+/// Read-only embedding server over a decoded snapshot.
 pub struct ServingNode {
-    pool: PmemPool,
-    index: HashMap<u64, SlotId>,
-    dim: usize,
-    checkpoint: BatchId,
-    cache: Mutex<ServeCache>,
+    snapshot: Arc<Snapshot>,
     registry: Arc<Registry>,
     phases: PhaseTimes,
     hits: Counter,
-    misses: Counter,
     unknown: Counter,
 }
 
 impl ServingNode {
     /// Open an image at its committed checkpoint. `dim` must match the
-    /// training configuration; `cache_entries` sizes the hot cache.
-    /// Returns `None` if the image holds no initialized pool.
+    /// training configuration. The whole image is decoded into a DRAM
+    /// row arena up front (cost charged to `cost` once); reads are
+    /// then pure borrows. Returns `None` if the image holds no
+    /// initialized pool.
+    ///
+    /// `_cache_entries` is vestigial: the decoded arena made the
+    /// miss-path hot cache redundant. Kept so existing callers compile
+    /// unchanged for one release.
     pub fn open(
         image: CrashImage,
         dim: usize,
-        cache_entries: usize,
+        _cache_entries: usize,
         cost: &mut Cost,
     ) -> Option<Self> {
-        let media = Arc::new(Media::from_crash(image));
-        let (pool, report) = recover(media, cost)?;
-        assert!(
-            pool.payload_f32s() >= dim,
-            "image payload smaller than requested dim"
-        );
-        let index = report.live.iter().map(|r| (r.key, r.id)).collect();
-        let cap = cache_entries.max(1);
+        let snapshot = Arc::new(Snapshot::build(image, dim, None)?);
+        cost.merge(snapshot.build_cost());
+        Some(Self::from_snapshot(snapshot))
+    }
+
+    /// Serve an already-built snapshot (shares it with any
+    /// [`crate::snapshot_handle::SnapshotHandle`] holding the same Arc).
+    pub fn from_snapshot(snapshot: Arc<Snapshot>) -> Self {
         let registry = Arc::new(Registry::new());
         let phases = PhaseTimes::new(&registry, "", &[Phase::ServeLookup, Phase::ServeTopk]);
-        let hits = registry.counter("serve_cache_hits_total");
-        let misses = registry.counter("serve_cache_misses_total");
+        let hits = registry.counter("serve_hits_total");
         let unknown = registry.counter("serve_unknown_keys_total");
-        Some(Self {
-            dim,
-            checkpoint: report.checkpoint_id,
-            cache: Mutex::new(ServeCache {
-                arena: DramArena::new(cap, pool.payload_f32s()),
-                policy: PolicyKind::Lru.build(cap),
-                slot_of: HashMap::new(),
-            }),
-            pool,
-            index,
+        Self {
+            snapshot,
             registry,
             phases,
             hits,
-            misses,
             unknown,
-        })
+        }
+    }
+
+    /// The underlying immutable snapshot — the borrow-returning read
+    /// surface.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
     }
 
     /// The serving node's telemetry registry (lookup/top-k latency
-    /// histograms, hit/miss/unknown counters).
+    /// histograms, hit/unknown counters).
     pub fn registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
     }
@@ -101,101 +92,111 @@ impl ServingNode {
 
     /// Batch id the served model corresponds to.
     pub fn checkpoint(&self) -> BatchId {
-        self.checkpoint
+        self.snapshot.checkpoint()
     }
 
     /// Embedding dimension served.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.snapshot.dim()
     }
 
     /// Distinct keys available.
     pub fn num_keys(&self) -> usize {
-        self.index.len()
+        self.snapshot.num_keys()
+    }
+
+    /// Look up one embedding: a borrow into the snapshot arena plus
+    /// the read's virtual cost, with serve telemetry recorded.
+    pub fn get(&self, key: u64) -> (Option<&[f32]>, Cost) {
+        let _span = self.phases.span(Phase::ServeLookup);
+        let (value, cost) = self.snapshot.lookup(key);
+        match value {
+            Some(_) => self.hits.inc(),
+            None => self.unknown.inc(),
+        }
+        (value, cost)
+    }
+
+    /// Top-`k` retrieval with an explicit [`Retriever`] arm, recorded
+    /// under `serve_topk_latency_ns`.
+    pub fn retrieve(
+        &self,
+        query: &[f32],
+        k: usize,
+        retriever: &dyn Retriever,
+    ) -> (Vec<TopK>, Cost) {
+        let _span = self.phases.span(Phase::ServeTopk);
+        retriever.top_k(&self.snapshot, query, k)
     }
 
     /// Look up one embedding into `out` (`dim` values appended).
     /// Returns false (and appends zeros — the standard missing-feature
     /// convention) if the key is unknown.
+    #[deprecated(note = "use `snapshot().lookup(key)` — borrow-returning, `(value, Cost)` pair")]
     pub fn lookup(&self, key: u64, out: &mut Vec<f32>, cost: &mut Cost) -> bool {
-        // Wall-clock span: a cache hit charges no virtual cost, so
-        // serve-path tails are measured in real time.
-        let _span = self.phases.span(Phase::ServeLookup);
-        let Some(&pm_slot) = self.index.get(&key) else {
-            out.extend(std::iter::repeat_n(0.0, self.dim));
-            self.unknown.inc();
-            return false;
-        };
-        let mut cache = self.cache.lock();
-        if let Some(&slot) = cache.slot_of.get(&key) {
-            out.extend_from_slice(&cache.arena.payload(slot)[..self.dim]);
-            cache.policy.on_access(slot);
-            self.hits.inc();
-            return true;
-        }
-        self.misses.inc();
-        // Miss: read from PMem, install in the hot cache.
-        if cache.arena.is_full() {
-            if let Some(victim) = cache.policy.evict() {
-                let vkey = cache.arena.key(victim);
-                cache.slot_of.remove(&vkey);
-                cache.arena.remove(victim);
+        let (value, c) = self.get(key);
+        cost.merge(&c);
+        match value {
+            Some(row) => {
+                out.extend_from_slice(row);
+                true
+            }
+            None => {
+                out.extend(std::iter::repeat_n(0.0, self.dim()));
+                false
             }
         }
-        let slot = cache.arena.insert(key, 0).expect("slot available");
-        let ServeCache { arena, .. } = &mut *cache;
-        self.pool
-            .read_slot(pm_slot, arena.payload_mut(slot), cost)
-            .expect("recovered slot valid");
-        cache.slot_of.insert(key, slot);
-        cache.policy.on_insert(slot);
-        out.extend_from_slice(&cache.arena.payload(slot)[..self.dim]);
-        true
     }
 
     /// Look up many embeddings.
+    #[deprecated(note = "use `snapshot().lookup(key)` per key — borrows, no out-params")]
+    #[allow(deprecated)]
     pub fn lookup_many(&self, keys: &[u64], out: &mut Vec<f32>, cost: &mut Cost) -> usize {
         keys.iter().filter(|&&k| self.lookup(k, out, cost)).count()
     }
 
     /// Score `candidates` against a query embedding by dot product and
-    /// return the top `k`, highest first — the last mile of a
-    /// retrieval-style recommender.
+    /// return the top `k`, highest first.
+    #[deprecated(
+        note = "use `retrieve(query, k, &ExactScan)` (or an ANN arm) — `(value, Cost)` pair"
+    )]
     pub fn top_k(&self, query: &[f32], candidates: &[u64], k: usize, cost: &mut Cost) -> Vec<TopK> {
-        assert_eq!(query.len(), self.dim, "query dim mismatch");
+        // Exact scan restricted to `candidates`, preserving the old
+        // contract (unknown candidates skipped, not zero-filled).
+        assert_eq!(query.len(), self.dim(), "query dim mismatch");
         let _span = self.phases.span(Phase::ServeTopk);
         let mut scored: Vec<TopK> = Vec::with_capacity(candidates.len());
-        let mut emb = Vec::with_capacity(self.dim);
         for &key in candidates {
-            emb.clear();
-            if !self.lookup(key, &mut emb, cost) {
-                continue;
+            let (value, c) = self.snapshot.lookup(key);
+            cost.merge(&c);
+            if let Some(row) = value {
+                let score = query.iter().zip(row).map(|(q, e)| q * e).sum();
+                scored.push(TopK { key, score });
             }
-            let score = query.iter().zip(&emb).map(|(q, e)| q * e).sum();
-            scored.push(TopK { key, score });
         }
-        scored.sort_by(|a, b| b.score.total_cmp(&a.score));
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
         scored.truncate(k);
         scored
     }
 
-    /// Iterate all (key, version) pairs (oectl scan).
-    pub fn entries(&self) -> impl Iterator<Item = (u64, SlotId)> + '_ {
-        self.index.iter().map(|(&k, &s)| (k, s))
+    /// Iterate all served keys (ascending).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.snapshot.keys().iter().copied()
     }
 
-    /// Read the full payload of a key (oectl dump).
+    /// Read the full payload of a key.
+    #[deprecated(note = "use `snapshot().payload(key)` — borrows instead of allocating per call")]
     pub fn read_payload(&self, key: u64, cost: &mut Cost) -> Option<Vec<f32>> {
-        let slot = *self.index.get(&key)?;
-        let mut payload = vec![0f32; self.pool.payload_f32s()];
-        self.pool.read_slot(slot, &mut payload, cost)?;
-        Some(payload)
+        let (value, c) = self.snapshot.payload(key);
+        cost.merge(&c);
+        value.map(<[f32]>::to_vec)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ann::ExactScan;
     use oe_core::engine::PsEngine;
     use oe_core::{NodeConfig, OptimizerKind, PsNode};
 
@@ -236,43 +237,41 @@ mod tests {
         let (image, expected) = trained_image();
         let mut cost = Cost::new();
         let node = ServingNode::open(image, DIM, 16, &mut cost).expect("open");
+        assert!(cost.total_ns() > 0, "open charges the decode scan");
         assert_eq!(node.checkpoint(), 3);
         assert_eq!(node.num_keys(), 50);
         for (k, w) in expected.iter().enumerate() {
-            let mut out = Vec::new();
-            assert!(node.lookup(k as u64, &mut out, &mut cost));
-            assert_eq!(&out, w, "key {k}");
-            // Second lookup hits the hot cache, same result.
-            let mut out2 = Vec::new();
-            node.lookup(k as u64, &mut out2, &mut cost);
-            assert_eq!(out, out2);
+            let (row, read_cost) = node.get(k as u64);
+            assert_eq!(row.unwrap(), w.as_slice(), "key {k}");
+            assert!(read_cost.total_ns() > 0, "reads report their cost");
+            // Repeated reads borrow the same arena row.
+            assert_eq!(node.get(k as u64).0.unwrap(), w.as_slice());
         }
     }
 
     #[test]
-    fn unknown_keys_yield_zeros() {
+    fn unknown_keys_are_none_not_zeros() {
         let (image, _) = trained_image();
         let mut cost = Cost::new();
         let node = ServingNode::open(image, DIM, 4, &mut cost).unwrap();
-        let mut out = Vec::new();
-        assert!(!node.lookup(999_999, &mut out, &mut cost));
-        assert_eq!(out, vec![0.0; DIM]);
-        let mut out = Vec::new();
-        let found = node.lookup_many(&[1, 999_999, 2], &mut out, &mut cost);
-        assert_eq!(found, 2);
-        assert_eq!(out.len(), 3 * DIM);
+        let (missing, miss_cost) = node.get(999_999);
+        assert!(missing.is_none());
+        assert!(miss_cost.total_ns() > 0, "probes still cost");
+        // The caller picks its missing-feature convention; the snapshot
+        // no longer zero-fills for it.
+        let (present, _) = node.get(1);
+        assert!(present.is_some());
     }
 
     #[test]
-    fn top_k_ranks_by_dot_product() {
+    fn retrieve_ranks_by_dot_product() {
         let (image, expected) = trained_image();
         let mut cost = Cost::new();
         let node = ServingNode::open(image, DIM, 64, &mut cost).unwrap();
         // Query = the embedding of key 7: its own score must rank top
-        // among candidates including itself.
+        // among all candidates.
         let query = expected[7].clone();
-        let candidates: Vec<u64> = (0..50).collect();
-        let top = node.top_k(&query, &candidates, 5, &mut cost);
+        let (top, retrieve_cost) = node.retrieve(&query, 5, &ExactScan);
         assert_eq!(top.len(), 5);
         let self_score: f32 = query.iter().map(|v| v * v).sum();
         assert!(
@@ -280,50 +279,85 @@ mod tests {
                 .any(|t| t.key == 7 && (t.score - self_score).abs() < 1e-5),
             "key 7 in its own top-5: {top:?}"
         );
-        // Sorted descending.
         for w in top.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+        assert!(retrieve_cost.total_ns() > 0);
     }
 
     #[test]
-    fn telemetry_counts_hits_misses_and_unknowns() {
+    fn telemetry_counts_hits_and_unknowns() {
         let (image, _) = trained_image();
         let mut cost = Cost::new();
         let node = ServingNode::open(image, DIM, 16, &mut cost).unwrap();
-        let mut out = Vec::new();
-        node.lookup(1, &mut out, &mut cost); // miss (cold cache)
-        node.lookup(1, &mut out, &mut cost); // hit
-        node.lookup(2, &mut out, &mut cost); // miss
-        node.lookup(999_999, &mut out, &mut cost); // unknown
+        node.get(1);
+        node.get(1);
+        node.get(2);
+        node.get(999_999); // unknown
         let snap = node.registry().snapshot();
-        assert_eq!(snap.counter("serve_cache_hits_total"), Some(1));
-        assert_eq!(snap.counter("serve_cache_misses_total"), Some(2));
+        assert_eq!(snap.counter("serve_hits_total"), Some(3));
         assert_eq!(snap.counter("serve_unknown_keys_total"), Some(1));
         let lookups = snap.histogram("serve_lookup_latency_ns").expect("hist");
         assert_eq!(lookups.count(), 4, "every lookup path records a span");
-        let _ = node.top_k(&[1.0; DIM], &[1, 2, 3], 2, &mut cost);
+        let _ = node.retrieve(&[1.0; DIM], 2, &ExactScan);
         let snap = node.registry().snapshot();
         assert_eq!(snap.histogram("serve_topk_latency_ns").unwrap().count(), 1);
         let text = node.metrics_text();
-        assert!(text.contains("serve_cache_hits_total"), "text:\n{text}");
+        assert!(text.contains("serve_hits_total"), "text:\n{text}");
         assert!(
             text.contains("serve_lookup_latency_ns{quantile=\"0.99\"}"),
             "text:\n{text}"
         );
     }
 
+    /// The deprecated out-param shims stay behaviorally identical to
+    /// the borrow API for one release.
     #[test]
-    fn tiny_cache_still_correct_under_churn() {
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_borrow_api() {
         let (image, expected) = trained_image();
         let mut cost = Cost::new();
+        let node = ServingNode::open(image, DIM, 16, &mut cost).unwrap();
+
+        // lookup: appends the row, true on hit.
+        let mut out = Vec::new();
+        assert!(node.lookup(7, &mut out, &mut cost));
+        assert_eq!(out, expected[7]);
+        // unknown: zero-fill convention preserved.
+        let mut out = Vec::new();
+        assert!(!node.lookup(999_999, &mut out, &mut cost));
+        assert_eq!(out, vec![0.0; DIM]);
+
+        // lookup_many counts hits and concatenates.
+        let mut out = Vec::new();
+        let found = node.lookup_many(&[1, 999_999, 2], &mut out, &mut cost);
+        assert_eq!(found, 2);
+        assert_eq!(out.len(), 3 * DIM);
+
+        // top_k over an explicit candidate set matches retrieve()
+        // restricted to those candidates.
+        let query = expected[7].clone();
+        let candidates: Vec<u64> = (0..50).collect();
+        let old = node.top_k(&query, &candidates, 5, &mut cost);
+        let (new, _) = node.retrieve(&query, 5, &ExactScan);
+        assert_eq!(
+            old.iter().map(|t| t.key).collect::<Vec<_>>(),
+            new.iter().map(|t| t.key).collect::<Vec<_>>(),
+            "same ranking from shim and borrow API"
+        );
+
+        // read_payload clones what payload() borrows.
+        let cloned = node.read_payload(3, &mut cost).unwrap();
+        assert_eq!(cloned.as_slice(), node.snapshot().payload(3).0.unwrap());
+    }
+
+    #[test]
+    fn keys_iterate_ascending() {
+        let (image, _) = trained_image();
+        let mut cost = Cost::new();
         let node = ServingNode::open(image, DIM, 2, &mut cost).unwrap();
-        for round in 0..3 {
-            for (k, w) in expected.iter().enumerate() {
-                let mut out = Vec::new();
-                node.lookup(k as u64, &mut out, &mut cost);
-                assert_eq!(&out, w, "round {round} key {k}");
-            }
-        }
+        let keys: Vec<u64> = node.keys().collect();
+        assert_eq!(keys.len(), 50);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -1,0 +1,167 @@
+//! Concurrent-flip torture test: readers must never observe a torn mix
+//! of two checkpoints.
+//!
+//! The writer flips through 100 checkpoint generations mid-traffic
+//! while reader threads hammer the handle through [`SnapshotReader`].
+//! Every payload value encodes its generation (`gen·1000 + key·10 + d`)
+//! so a reader can verify, for every row it gets back, that all `DIM`
+//! values decode to the *same* committed generation — a mix of two
+//! checkpoints inside one row, or a row from a never-committed
+//! generation, fails loudly.
+
+use oe_serve::{Snapshot, SnapshotHandle};
+use oe_simdevice::{Cost, CrashImage, Media, MediaConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const DIM: usize = 4;
+const KEYS: u64 = 32;
+const GENERATIONS: u64 = 100;
+const READERS: usize = 4;
+
+/// A checkpoint image whose every payload value encodes `gen`.
+fn image_at(gen: u64) -> CrashImage {
+    let media = Arc::new(Media::new(MediaConfig::pmem(1 << 20)));
+    let mut cost = Cost::new();
+    let pool = oe_pmem::PmemPool::create_on(Arc::clone(&media), DIM * 4, &mut cost);
+    for key in 0..KEYS {
+        let id = pool.alloc(&mut cost);
+        let payload: Vec<f32> = (0..DIM as u64)
+            .map(|d| (gen * 1_000 + key * 10 + d) as f32)
+            .collect();
+        pool.write_slot(id, key, gen.max(1), &payload, &mut cost);
+    }
+    pool.set_checkpoint_id(gen.max(1), &mut cost);
+    media.crash(gen)
+}
+
+/// Decode the generation a row claims to belong to, verifying internal
+/// consistency: every value must agree on one `gen`. Returns `None`
+/// (torn) otherwise.
+fn decode_generation(key: u64, row: &[f32]) -> Option<u64> {
+    let gen = (row[0] as u64).checked_sub(key * 10)? / 1_000;
+    for (d, &v) in row.iter().enumerate() {
+        if v != (gen * 1_000 + key * 10 + d as u64) as f32 {
+            return None;
+        }
+    }
+    Some(gen)
+}
+
+#[test]
+fn readers_never_see_a_torn_mix_across_100_flips() {
+    let initial = Arc::new(Snapshot::build(image_at(1), DIM, None).expect("gen 1"));
+    let handle = SnapshotHandle::new(initial);
+    let stop = AtomicBool::new(false);
+    let torn = AtomicU64::new(0);
+    let bad_gen = AtomicU64::new(0);
+    let epochs_seen = AtomicU64::new(0); // bitset-ish: max distinct epochs per reader
+    let reads = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..READERS {
+            let handle = &handle;
+            let stop = &stop;
+            let torn = &torn;
+            let bad_gen = &bad_gen;
+            let epochs_seen = &epochs_seen;
+            let reads = &reads;
+            s.spawn(move || {
+                let mut reader = handle.reader();
+                let mut distinct_epochs = 0u64;
+                let mut last_epoch = 0u64;
+                let mut req = t as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = req % KEYS;
+                    // One consistent snapshot for this "request": read
+                    // several rows from it and pin them to ONE gen.
+                    let snap = reader.acquire();
+                    let gen0 = match decode_generation(key, snap.lookup(key).0.unwrap()) {
+                        Some(g) => g,
+                        None => {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    };
+                    if !(1..=GENERATIONS).contains(&gen0) {
+                        bad_gen.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    for other in [(key + 7) % KEYS, (key + 19) % KEYS] {
+                        match decode_generation(other, snap.lookup(other).0.unwrap()) {
+                            // The same acquired snapshot must serve the
+                            // same generation for every row — a flip in
+                            // flight must not leak in.
+                            Some(g) if g == gen0 => {}
+                            _ => {
+                                torn.fetch_add(1, Ordering::Relaxed);
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    if reader.seen_epoch() != last_epoch {
+                        last_epoch = reader.seen_epoch();
+                        distinct_epochs += 1;
+                    }
+                    reads.fetch_add(3, Ordering::Relaxed);
+                    req += READERS as u64;
+                }
+                epochs_seen.fetch_max(distinct_epochs, Ordering::Relaxed);
+            });
+        }
+
+        // Let readers serve some epoch-1 traffic first, so at least one
+        // of them is guaranteed to straddle a flip.
+        while reads.load(Ordering::Relaxed) < 64 {
+            std::thread::yield_now();
+        }
+        // Writer: flip through the remaining generations mid-traffic.
+        for gen in 2..=GENERATIONS {
+            let next = Arc::new(Snapshot::build(image_at(gen), DIM, None).expect("gen image"));
+            handle.flip(next);
+            if gen % 10 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(torn.load(Ordering::Relaxed), 0, "torn row observed");
+    assert_eq!(
+        bad_gen.load(Ordering::Relaxed),
+        0,
+        "row from an uncommitted generation observed"
+    );
+    // 100 generations → initial epoch 1 + 99 flips.
+    assert_eq!(handle.epoch(), GENERATIONS, "every flip bumped the epoch");
+    assert_eq!(handle.load().checkpoint(), GENERATIONS);
+    assert!(
+        epochs_seen.load(Ordering::Relaxed) > 1,
+        "at least one reader must observe a mid-traffic flip"
+    );
+    assert!(reads.load(Ordering::Relaxed) > 0);
+    let metrics = handle.registry().snapshot();
+    assert_eq!(
+        metrics.counter("serve_snapshot_flips_total"),
+        Some(GENERATIONS - 1)
+    );
+}
+
+#[test]
+fn a_reader_parked_on_an_old_snapshot_keeps_it_alive() {
+    let handle = SnapshotHandle::new(Arc::new(Snapshot::build(image_at(1), DIM, None).unwrap()));
+    let mut reader = handle.reader();
+    {
+        let snap = reader.acquire();
+        let row_before = snap.lookup(4).0.unwrap();
+        // Two flips while the borrow is live: the old arena must survive.
+        handle.flip(Arc::new(Snapshot::build(image_at(2), DIM, None).unwrap()));
+        handle.flip(Arc::new(Snapshot::build(image_at(3), DIM, None).unwrap()));
+        assert_eq!(decode_generation(4, row_before), Some(1));
+    }
+    // Next request catches up to the latest.
+    let snap = reader.acquire();
+    assert_eq!(decode_generation(4, snap.lookup(4).0.unwrap()), Some(3));
+    assert_eq!(handle.epoch(), 3);
+}

@@ -47,11 +47,16 @@ pub enum Phase {
     /// Failover promotion: checkpoint scan + index rebuild on the
     /// replica (virtual recovery time).
     FailoverRecovery,
+    /// Serving-plane snapshot flip: publishing a freshly built
+    /// immutable snapshot into the reader handle.
+    SnapshotFlip,
+    /// Per-snapshot ANN index construction (LSH signatures + buckets).
+    AnnBuild,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 15] = [
+    pub const ALL: [Phase; 17] = [
         Phase::Pull,
         Phase::Maintain,
         Phase::Flush,
@@ -67,6 +72,8 @@ impl Phase {
         Phase::Merge,
         Phase::RetryBackoff,
         Phase::FailoverRecovery,
+        Phase::SnapshotFlip,
+        Phase::AnnBuild,
     ];
 
     /// Stable metric-name fragment.
@@ -87,6 +94,8 @@ impl Phase {
             Phase::Merge => "merge",
             Phase::RetryBackoff => "retry_backoff",
             Phase::FailoverRecovery => "failover_recovery",
+            Phase::SnapshotFlip => "snapshot_flip",
+            Phase::AnnBuild => "ann_build",
         }
     }
 
@@ -102,7 +111,7 @@ impl Phase {
 /// so each component's exposition shows only histograms it can fill.
 #[derive(Debug)]
 pub struct PhaseTimes {
-    hists: [Option<HistogramHandle>; 15],
+    hists: [Option<HistogramHandle>; 17],
 }
 
 impl PhaseTimes {
@@ -111,7 +120,7 @@ impl PhaseTimes {
     /// registers `{phase}_latency_ns` — for phases whose names already
     /// carry their component, like `serve_lookup`).
     pub fn new(registry: &Registry, prefix: &str, phases: &[Phase]) -> Self {
-        let mut hists: [Option<HistogramHandle>; 15] = Default::default();
+        let mut hists: [Option<HistogramHandle>; 17] = Default::default();
         for &p in phases {
             let name = if prefix.is_empty() {
                 format!("{}_latency_ns", p.name())

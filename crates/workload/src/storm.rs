@@ -97,6 +97,29 @@ impl StormGen {
         }
         keys
     }
+
+    /// One key for open-loop request `req` — the serving-side sampler.
+    ///
+    /// A QPS driver replays requests as an unbounded stream, not in
+    /// training batches; each request is a pure function of
+    /// `(spec, req)` so N reader threads can partition the stream
+    /// (`req = thread + i·threads`) and still replay the identical
+    /// global workload. The storm window is interpreted in *request*
+    /// units scaled by `keys_per_batch`: request `req` storms iff
+    /// batch `req / keys_per_batch` storms, so a serving replay sees
+    /// the same flash crowd the trainer saw.
+    pub fn request_key(&self, req: u64) -> Key {
+        let s = &self.spec;
+        let mut rng =
+            StdRng::seed_from_u64(s.seed ^ req.wrapping_mul(0xD134_2543_DE82_EF95) ^ 0x0E5E);
+        let batch = req / s.keys_per_batch as u64;
+        if s.in_storm(batch) && rng.gen::<f64>() < s.hot_share {
+            let rank = Self::zipf_rank(rng.gen::<f64>(), s.hot_keys.len() as u64);
+            s.hot_keys[rank as usize]
+        } else {
+            s.base.sample_rank(&mut rng, s.num_keys)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +205,25 @@ mod tests {
         for b in [0u64, 5, 9, 20] {
             assert!(g.batch_keys(b).iter().all(|&k| k < 10_000));
         }
+    }
+
+    #[test]
+    fn request_stream_is_deterministic_and_skewed() {
+        let g = StormGen::new(spec());
+        // Pure function of (spec, req): thread-partitionable.
+        assert_eq!(g.request_key(12_345), g.request_key(12_345));
+        let crowd: HashSet<Key> = g.spec().hot_keys.iter().copied().collect();
+        let share = |reqs: std::ops::Range<u64>| {
+            let n = reqs.end - reqs.start;
+            reqs.filter(|&r| crowd.contains(&g.request_key(r))).count() as f64 / n as f64
+        };
+        // Request-unit storm window: batches 5..10 → requests
+        // 10_000..20_000 at 2_000 keys per batch.
+        let during = share(10_000..20_000);
+        assert!((during - 0.8).abs() < 0.05, "storm share = {during}");
+        let before = share(0..10_000);
+        assert!(before < 0.05, "pre-storm share = {before}");
+        // All in range.
+        assert!((0..5_000).all(|r| g.request_key(r) < 10_000));
     }
 }

@@ -6,8 +6,10 @@
 //! 1. train item embeddings on the PS,
 //! 2. take a lightweight batch-aware checkpoint,
 //! 3. capture the PMem persistence domain as a snapshot image file,
-//! 4. open the image with a read-only `ServingNode` and answer top-k
-//!    item-to-item recommendation queries.
+//! 4. decode the image into an immutable `Snapshot` (with an ANN
+//!    index), publish it through an epoch-flipped `SnapshotHandle`,
+//!    and answer top-k item-to-item queries with both the exact and
+//!    the LSH retriever arms.
 //!
 //! Inspect the image afterwards with the ops CLI:
 //! `cargo run --release -p oe-serve --bin oectl -- info /tmp/oe_recsys.img`
@@ -97,32 +99,49 @@ fn main() {
         std::fs::metadata(&path).unwrap().len() as f64 / 1e6
     );
 
-    // 4. Serve: open read-only, answer item-to-item queries.
+    // 4. Serve: decode the image once into an immutable snapshot with a
+    //    per-snapshot ANN index, publish it through a SnapshotHandle
+    //    (the epoch-flipped, lock-free multi-reader surface), and answer
+    //    item-to-item queries. Reads are borrows into the snapshot
+    //    arena — no out-params, no per-call allocation — each paired
+    //    with its virtual cost.
     let image = load_image(&path).expect("read image");
     let mut serve_cost = Cost::new();
-    let server = ServingNode::open(image, DIM, 8192, &mut serve_cost).expect("open image");
+    let snapshot =
+        Snapshot::build(image, DIM, Some(&AnnConfig::paper_default())).expect("open image");
+    serve_cost.merge(snapshot.build_cost());
+    let handle = SnapshotHandle::new(std::sync::Arc::new(snapshot));
+    let mut reader = handle.reader();
+    let snap = reader.acquire();
     println!(
-        "\nserving node: {} keys @ checkpoint {}\n",
-        server.num_keys(),
-        server.checkpoint()
+        "\nserving snapshot: {} keys @ checkpoint {} (epoch {})\n",
+        snap.num_keys(),
+        snap.checkpoint(),
+        handle.epoch()
     );
 
     // Query: the most popular key of a large categorical field.
     let field = 2; // a 150k-cardinality field
-    let candidates: Vec<u64> = server
-        .entries()
-        .map(|(k, _)| k)
-        .filter(|k| data.field_range(field).contains(k))
-        .collect();
-    let query_key = candidates[0];
-    let mut query = Vec::new();
-    server.lookup(query_key, &mut query, &mut serve_cost);
-    println!(
-        "top-5 items related to key {query_key} (field {field}, {} candidates):",
-        candidates.len()
-    );
-    for t in server.top_k(&query, &candidates, 5, &mut serve_cost) {
-        println!("  key {:<12} score {:+.4}", t.key, t.score);
+    let query_key = snap
+        .keys()
+        .iter()
+        .copied()
+        .find(|k| data.field_range(field).contains(k))
+        .expect("field has trained keys");
+    let (query, qcost) = snap.lookup(query_key);
+    let query = query.expect("served key").to_vec();
+    serve_cost.merge(&qcost);
+
+    for retriever in [&ExactScan as &dyn Retriever, &LshRetriever] {
+        let (top, cost) = reader.retrieve(&query, 5, retriever);
+        serve_cost.merge(&cost);
+        println!(
+            "top-5 items related to key {query_key} ({} arm):",
+            retriever.name()
+        );
+        for t in top {
+            println!("  key {:<12} score {:+.4}", t.key, t.score);
+        }
     }
     println!("\nserving cost charged: {serve_cost}");
     println!(
