@@ -72,4 +72,10 @@ cargo test --release -q -p oe-serve
 echo "==> SLO-driven serving bench (smoke, gated)"
 cargo run --release -p oe-bench --bin serve -- --smoke --out BENCH_serve.json "${GATE_FLAGS[@]}"
 
+echo "==> disaggregated-pool failover smoke"
+cargo test --release -q -p openembedding --test pool_failover_e2e
+
+echo "==> disaggregated-pool storage bench (smoke, gated)"
+cargo run --release -p oe-bench --bin pool -- --smoke --out BENCH_pool.json "${GATE_FLAGS[@]}"
+
 echo "CI OK"

@@ -1,0 +1,69 @@
+//! Disaggregated-PMem bench: local vs DRAM vs remote-pool storage arms
+//! at equal simulated cost, fabric congestion scaling, pool-resident vs
+//! crash-image recovery, JSON artifact emitter, trajectory recorder,
+//! and perf-regression gate.
+//!
+//! ```sh
+//! cargo run --release -p oe-bench --bin pool            # paper shape
+//! cargo run --release -p oe-bench --bin pool -- --smoke # CI shape
+//! cargo run --release -p oe-bench --bin pool -- --smoke \
+//!     --out BENCH_pool.json \
+//!     --record BENCH_trajectory.json \
+//!     --gate BENCH_baseline.json          # CI: fail on >30% regression
+//! ```
+//!
+//! Virtual epoch times, the bit-identity bit, and the recovery ratio
+//! are deterministic and gated absolutely; wall-clock time enters the
+//! gate only as one geomean.
+
+use oe_bench::pool::{metrics, print_report, run, PoolBenchConfig};
+use oe_bench::trajectory::record_and_gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut path_arg = |flag: &str| match it.next() {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("{flag} requires a path");
+                std::process::exit(2);
+            }
+        };
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(path_arg("--out")),
+            "--record" => record = Some(path_arg("--record")),
+            "--gate" => gate = Some(path_arg("--gate")),
+            "--update-baseline" => update = true,
+            other => {
+                eprintln!(
+                    "usage: pool [--smoke] [--out PATH] [--record TRAJECTORY] \
+                     [--gate BASELINE] [--update-baseline]   (unknown arg: {other})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = if smoke {
+        PoolBenchConfig::smoke()
+    } else {
+        PoolBenchConfig::paper()
+    };
+    let report = run(&cfg);
+    print_report(&report);
+    if let Some(path) = &out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(path, json + "\n").expect("write bench artifact");
+        println!("wrote {path}");
+    }
+    let m = metrics(&report);
+    if !record_and_gate("pool", &m, record.as_deref(), gate.as_deref(), update) {
+        std::process::exit(1);
+    }
+}

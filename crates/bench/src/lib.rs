@@ -32,6 +32,10 @@
 //!   kernels (scalar vs SIMD-shaped vs batched) and the zero-copy
 //!   codec (owned vs borrowed encode/decode), emitted as
 //!   `BENCH_kernels.json` by the `kernels` binary.
+//! - [`pool`] — disaggregated-PMem bench: local vs DRAM vs remote-pool
+//!   storage arms at equal simulated cost, fabric congestion scaling,
+//!   and pool-resident vs crash-image recovery, emitted as
+//!   `BENCH_pool.json` by the `pool` binary.
 //! - [`serve`] — serving-plane bench: exact-vs-LSH recall/latency
 //!   tradeoff plus an open-loop QPS replay with a mid-traffic snapshot
 //!   flip, emitted as `BENCH_serve.json` by the `serve` binary.
@@ -48,6 +52,7 @@ pub mod failover;
 pub mod figures;
 pub mod kernels;
 pub mod pipeline;
+pub mod pool;
 pub mod pullpush;
 pub mod rebalance;
 pub mod scenario;
@@ -58,6 +63,7 @@ pub use crashmc::{CrashMcBenchConfig, CrashMcReport};
 pub use failover::{FailoverConfig, FailoverReport};
 pub use kernels::{KernelsConfig, KernelsReport};
 pub use pipeline::{PipelineBenchConfig, PipelineBenchReport};
+pub use pool::{PoolBenchConfig, PoolBenchReport};
 pub use pullpush::{PullPushConfig, PullPushReport};
 pub use rebalance::{RebalanceBenchConfig, RebalanceReport};
 pub use scenario::{CkptSetup, EngineKind, Scenario};

@@ -26,6 +26,12 @@ pub enum NodeClass {
     DramRich,
     /// Mostly PMem — kept out of the hot-key destination rotation.
     PmemHeavy,
+    /// Slots live in a disaggregated remote pool (`oe-pool`): every
+    /// miss pays fabric latency on top of PMem, so like [`PmemHeavy`]
+    /// it serves the cold tail and never receives hot keys.
+    ///
+    /// [`PmemHeavy`]: NodeClass::PmemHeavy
+    PoolBacked,
 }
 
 /// Placer tuning knobs.
@@ -193,6 +199,34 @@ mod tests {
         assert!(
             moves.iter().all(|&(_, d)| d == 2),
             "only the DRAM-rich peer"
+        );
+    }
+
+    #[test]
+    fn pool_backed_nodes_receive_no_hot_keys() {
+        // A pool-backed shard is even worse than PMem-heavy for the hot
+        // head: every miss adds a fabric round trip. It must stay out
+        // of the destination rotation exactly like PmemHeavy.
+        let table = PlacementTable::new(3);
+        let hot: Vec<Key> = (0..100u64)
+            .filter(|&k| table.node_of(k) == 0)
+            .take(6)
+            .collect();
+        let freq = loaded_tracker(&hot);
+        let placer = SkewAwarePlacer::new(PlacerConfig {
+            hot_fraction: 0.01,
+            max_moves: 64,
+        });
+        let classes = [
+            NodeClass::DramRich,
+            NodeClass::PoolBacked,
+            NodeClass::DramRich,
+        ];
+        let moves = placer.plan_moves(&freq, &table, &[500, 0, 0], &classes, Some(0));
+        assert!(!moves.is_empty());
+        assert!(
+            moves.iter().all(|&(_, d)| d == 2),
+            "hot keys skip the pool-backed node: {moves:?}"
         );
     }
 

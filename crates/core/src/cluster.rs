@@ -33,13 +33,16 @@ pub fn hash_node_of(key: Key, nodes: usize) -> usize {
 
 /// Merge per-node burst costs for nodes serving in parallel: the
 /// elementwise max of device/serialized charges (each node's hardware
-/// works concurrently) and the sum of CPU/NET (the client still pays
-/// per-request work). A simple, conservative merge for multi-node
-/// bursts.
+/// works concurrently) and the sum of CPU/NET/fabric (the client still
+/// pays per-request work, and pool-backed nodes share one fabric link,
+/// so their transfers queue rather than overlap). A simple,
+/// conservative merge for multi-node bursts.
 pub fn merge_node_parallel(costs: &[Cost], out: &mut Cost) {
     for kind in CostKind::ALL {
         let ns = match kind {
-            CostKind::Cpu | CostKind::Net => costs.iter().map(|c| c.ns(kind)).sum(),
+            CostKind::Cpu | CostKind::Net | CostKind::FabricTransfer => {
+                costs.iter().map(|c| c.ns(kind)).sum()
+            }
             _ => costs.iter().map(|c| c.ns(kind)).max().unwrap_or(0),
         };
         out.charge_ns_only(kind, ns);

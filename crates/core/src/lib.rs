@@ -37,6 +37,7 @@ pub mod plan;
 pub mod recovery;
 pub mod scratch;
 pub mod stats;
+pub mod storage;
 
 pub use checkpoint::{BatchCadence, CheckpointScheduler};
 pub use cluster::{hash_node_of, merge_node_parallel, Cluster};
@@ -47,6 +48,7 @@ pub use optimizer::{Optimizer, OptimizerKind, ShapeError};
 pub use plan::{ShardBuckets, ShardGroup, ShardPlan};
 pub use scratch::{PooledScratch, ScratchPool, Shape};
 pub use stats::{EngineStats, StatsSnapshot};
+pub use storage::{DramStore, LocalPmem, StorageBackend};
 
 /// Embedding key (re-exported from `oe-cache`).
 pub type Key = oe_cache::Key;

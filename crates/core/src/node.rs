@@ -35,6 +35,7 @@ use crate::optimizer::Optimizer;
 use crate::plan::{ShardBuckets, ShardGroup, ShardPlan};
 use crate::scratch::{PooledScratch, Scratch, ScratchPool, Shape};
 use crate::stats::{EngineStats, StatsSnapshot};
+use crate::storage::{LocalPmem, StorageBackend};
 use crate::{BatchId, Key};
 use oe_cache::chain::CHAIN_CAP;
 use oe_cache::policy::EvictionPolicy;
@@ -119,7 +120,10 @@ struct PullLane<'p> {
 pub struct PsNode {
     cfg: NodeConfig,
     opt: Optimizer,
-    pool: PmemPool,
+    /// Where durable slots live (local PMem by default; see
+    /// [`crate::storage`] for the DRAM and remote-pool arms). All slot
+    /// traffic is charged through this seam.
+    store: Arc<dyn StorageBackend>,
     shards: Vec<RwLock<Shard>>,
     access_queue: AccessQueue,
     ckpt_pending: Mutex<VecDeque<BatchId>>,
@@ -164,7 +168,24 @@ impl PsNode {
         Self::with_pool(cfg, pool)
     }
 
+    /// Create a node on a caller-provided storage backend (the seam the
+    /// DRAM baseline and the disaggregated `oe-pool` arm plug into).
+    /// The backend's pool payload size must match the config.
+    pub fn with_storage(cfg: NodeConfig, store: Arc<dyn StorageBackend>) -> Self {
+        cfg.validate();
+        assert_eq!(
+            store.pool().payload_bytes(),
+            cfg.payload_bytes(),
+            "storage backend payload size must match node config"
+        );
+        Self::with_backend(cfg, store)
+    }
+
     fn with_pool(cfg: NodeConfig, pool: PmemPool) -> Self {
+        Self::with_backend(cfg, Arc::new(LocalPmem::new(pool)))
+    }
+
+    fn with_backend(cfg: NodeConfig, store: Arc<dyn StorageBackend>) -> Self {
         let per_shard = cfg.cache_entries_per_shard();
         let shards = (0..cfg.shards)
             .map(|_| {
@@ -202,7 +223,7 @@ impl PsNode {
         Self {
             cfg,
             opt,
-            pool,
+            store,
             shards,
             access_queue: AccessQueue::new(),
             ckpt_pending: Mutex::new(VecDeque::new()),
@@ -224,7 +245,20 @@ impl PsNode {
         pool: PmemPool,
         scan: &oe_pmem::scan::ScanReport,
     ) -> Self {
-        let node = Self::with_pool(cfg, pool);
+        Self::from_recovered_storage(cfg, Arc::new(LocalPmem::new(pool)), scan)
+    }
+
+    /// Rebuild a node from a recovered storage backend + scan report —
+    /// the public entry the disaggregated-pool arm uses after a
+    /// near-pool recovery scan. Same semantics as local recovery: live
+    /// entries indexed at their slots, cold cache, committed CBI
+    /// restored from the pool root.
+    pub fn from_recovered_storage(
+        cfg: NodeConfig,
+        store: Arc<dyn StorageBackend>,
+        scan: &oe_pmem::scan::ScanReport,
+    ) -> Self {
+        let node = Self::with_backend(cfg, store);
         for r in &scan.live {
             let sid = node.shard_of(r.key);
             let mut g = node.shards[sid].write();
@@ -246,9 +280,14 @@ impl PsNode {
         &self.cfg
     }
 
-    /// The backing PMem pool (crash it in tests via `pool().media()`).
+    /// The backing slot pool (crash it in tests via `pool().media()`).
     pub fn pool(&self) -> &PmemPool {
-        &self.pool
+        self.store.pool()
+    }
+
+    /// The storage backend behind this node.
+    pub fn storage(&self) -> &Arc<dyn StorageBackend> {
+        &self.store
     }
 
     #[inline]
@@ -285,7 +324,7 @@ impl PsNode {
             let mut freed = Vec::new();
             chain.prune(boundaries, &mut freed);
             for s in freed {
-                self.pool.free(s, cost);
+                self.store.free(s, cost);
                 EngineStats::add(&self.stats.slots_recycled, 1);
             }
             assert!(
@@ -293,13 +332,13 @@ impl PsNode {
                 "version chain irreducible: too many pending checkpoints"
             );
         }
-        let slot = self.pool.alloc(cost);
-        self.pool.write_slot(slot, key, version, payload, cost);
+        let slot = self.store.alloc(cost);
+        self.store.write_slot(slot, key, version, payload, cost);
         chain.push(slot, version);
         let mut freed = Vec::new();
         chain.prune(boundaries, &mut freed);
         for s in freed {
-            self.pool.free(s, cost);
+            self.store.free(s, cost);
             EngineStats::add(&self.stats.slots_recycled, 1);
         }
         EngineStats::add(&self.stats.flushes, 1);
@@ -392,7 +431,7 @@ impl PsNode {
             {
                 let Shard { arena, .. } = shard;
                 let dst = arena.payload_mut(dram_slot);
-                let ok = self.pool.read_slot(pm_slot, dst, cost).is_some();
+                let ok = self.store.read_slot(pm_slot, dst, cost).is_some();
                 assert!(ok, "indexed PMem slot must be valid");
                 cost.charge(
                     CostKind::DramTransfer,
@@ -446,7 +485,7 @@ impl PsNode {
 
     fn commit_checkpoint(&self, cp: BatchId, cost: &mut Cost) {
         let t0 = cost.total_ns();
-        self.pool.set_checkpoint_id(cp, cost);
+        self.store.set_checkpoint_id(cp, cost);
         self.committed.store(cp, Ordering::Release);
         self.committed_gauge.set(cp);
         let mut q = self.ckpt_pending.lock();
@@ -512,15 +551,15 @@ impl PsNode {
             match g.index.get(key) {
                 Some(e) => {
                     let slot = e.loc.as_pmem().expect("uncached mode: PMem only");
-                    self.pool.read_slot(slot, payload, cost).expect("valid");
+                    self.store.read_slot(slot, payload, cost).expect("valid");
                     out.extend_from_slice(&payload[..dim]);
                     EngineStats::add(&self.stats.misses, 1);
                 }
                 None => {
                     init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, payload);
                     let (boundaries, _, _) = self.boundaries();
-                    let slot = self.pool.alloc(cost);
-                    self.pool.write_slot(slot, key, batch, payload, cost);
+                    let slot = self.store.alloc(cost);
+                    self.store.write_slot(slot, key, batch, payload, cost);
                     let mut chain = VersionChain::new();
                     chain.push(slot, batch);
                     let _ = boundaries;
@@ -548,7 +587,7 @@ impl PsNode {
             let Shard { index, .. } = &mut *g;
             let e = index.get_mut(key).expect("pushed key must exist");
             let slot = e.loc.as_pmem().expect("uncached mode: PMem only");
-            self.pool.read_slot(slot, payload, cost).expect("valid");
+            self.store.read_slot(slot, payload, cost).expect("valid");
             self.opt.apply(dim, payload, &grads[i * dim..(i + 1) * dim]);
             cost.charge(
                 CostKind::Cpu,
@@ -651,7 +690,7 @@ impl PsNode {
                         EngineStats::add(&self.stats.hits, 1);
                     } else {
                         let slot = loc.as_pmem().unwrap();
-                        self.pool
+                        self.store
                             .read_slot(slot, scratch, cost)
                             .expect("indexed slot valid");
                         out.extend_from_slice(&scratch[..dim]);
@@ -685,8 +724,8 @@ impl PsNode {
                         // weights and zeroed state — so reusing the
                         // read scratch here is safe.)
                         init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, scratch);
-                        let slot = self.pool.alloc(cost);
-                        self.pool.write_slot(slot, key, batch, scratch, cost);
+                        let slot = self.store.alloc(cost);
+                        self.store.write_slot(slot, key, batch, scratch, cost);
                         g.index.insert_recovered(key, slot, batch);
                         out.extend_from_slice(&scratch[..dim]);
                     }
@@ -733,7 +772,7 @@ impl PsNode {
                 Some(s) => s,
                 None => {
                     let pm_slot = loc.as_pmem().expect("tagged loc");
-                    self.pool
+                    self.store
                         .read_slot(pm_slot, scratch, cost)
                         .expect("indexed slot valid");
                     self.opt.apply(dim, scratch, grad);
@@ -805,7 +844,7 @@ impl PsNode {
                         s.tags.push(PullOutcome::Hit.code());
                     } else {
                         let slot = loc.as_pmem().unwrap();
-                        self.pool
+                        self.store
                             .read_slot(slot, &mut s.payload, cost)
                             .expect("indexed slot valid");
                         s.rows.extend_from_slice(&s.payload[..dim]);
@@ -838,8 +877,8 @@ impl PsNode {
                         // Doorkeeper declined: initialize straight to
                         // PMem; the cache stays clean of singletons.
                         init_payload(self.cfg.seed, key, self.cfg.init_scale, dim, &mut s.payload);
-                        let slot = self.pool.alloc(cost);
-                        self.pool.write_slot(slot, key, batch, &s.payload, cost);
+                        let slot = self.store.alloc(cost);
+                        self.store.write_slot(slot, key, batch, &s.payload, cost);
                         g.index.insert_recovered(key, slot, batch);
                         s.rows.extend_from_slice(&s.payload[..dim]);
                         s.tags.push(PullOutcome::NewDeclined.code());
@@ -1081,7 +1120,7 @@ impl PsNode {
                     s.grad_rows.resize((j + 1) * dim, 0.0);
                     let row = &mut s.rows[j * stride..(j + 1) * stride];
                     let grow = &mut s.grad_rows[j * dim..(j + 1) * dim];
-                    self.pool
+                    self.store
                         .read_slot(pm_slot, row, cost)
                         .expect("indexed slot valid");
                     let grad_at = |pos: u32| {
@@ -1260,7 +1299,7 @@ impl PsEngine for PsNode {
         } else {
             let mut scratch = vec![0f32; self.cfg.payload_f32s()];
             let mut cost = Cost::new();
-            self.pool
+            self.store
                 .read_slot(e.loc.as_pmem().unwrap(), &mut scratch, &mut cost)?;
             scratch.truncate(dim);
             Some(scratch)
@@ -1291,7 +1330,7 @@ impl PsEngine for PsNode {
             );
             Some((g.arena.version(slot), payload))
         } else {
-            self.pool
+            self.store
                 .read_slot(e.loc.as_pmem().expect("tagged loc"), &mut payload, cost)
                 .expect("indexed slot valid");
             Some((e.version, payload))
@@ -1315,8 +1354,8 @@ impl PsEngine for PsNode {
         // normal maintenance once it proves hot there. Deliberately no
         // `new_entries` bump: migration is placement plumbing, not a
         // first touch.
-        let slot = self.pool.alloc(cost);
-        self.pool.write_slot(slot, key, version, payload, cost);
+        let slot = self.store.alloc(cost);
+        self.store.write_slot(slot, key, version, payload, cost);
         let mut g = self.shards[sid].write();
         g.index.insert_recovered(key, slot, version);
         true
@@ -1336,7 +1375,7 @@ impl PsEngine for PsNode {
         let mut freed = Vec::new();
         e.chain.clear_into(&mut freed);
         for s in freed {
-            self.pool.free(s, cost);
+            self.store.free(s, cost);
             EngineStats::add(&self.stats.slots_recycled, 1);
         }
         true

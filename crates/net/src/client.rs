@@ -387,13 +387,59 @@ impl RemotePs {
         }
     }
 
-    /// Infallible call for the [`PsEngine`] facade: any terminal
-    /// failure (including a successful failover, whose rewind contract
-    /// the `PsEngine` interface cannot express) is fatal.
-    fn call(&self, req: Request, cost: &mut Cost) -> Response {
-        match self.call_result(req, cost) {
-            Ok(r) => r,
-            Err(e) => panic!("PS RPC failed: {e}"),
+    /// Fallible entry export (migration plane): the structured-error
+    /// twin of [`PsEngine::export_entry`]. A timeout, corrupt frame, or
+    /// failover comes back as an [`Error`] with its [`ErrorKind`]
+    /// intact instead of tearing the process down.
+    pub fn try_export_entry(
+        &self,
+        key: Key,
+        cost: &mut Cost,
+    ) -> Result<Option<(BatchId, Vec<f32>)>, Error> {
+        match self.call_result(Request::ExportEntry { key }, cost)? {
+            Response::Entry(e) => Ok(e),
+            other => Err(Error::rejected(format!(
+                "export_entry: unexpected {other:?}"
+            ))),
+        }
+    }
+
+    /// Fallible entry import (migration plane): the structured-error
+    /// twin of [`PsEngine::import_entry`].
+    pub fn try_import_entry(
+        &self,
+        key: Key,
+        version: BatchId,
+        payload: &[f32],
+        cost: &mut Cost,
+    ) -> Result<bool, Error> {
+        let req = Request::ImportEntry {
+            key,
+            version,
+            payload: payload.to_vec(),
+        };
+        match self.call_result(req, cost)? {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                Ok(true)
+            }
+            other => Err(Error::rejected(format!(
+                "import_entry: unexpected {other:?}"
+            ))),
+        }
+    }
+
+    /// Fallible entry discard (migration plane): the structured-error
+    /// twin of [`PsEngine::discard_entry`].
+    pub fn try_discard_entry(&self, key: Key, cost: &mut Cost) -> Result<bool, Error> {
+        match self.call_result(Request::DiscardEntry { key }, cost)? {
+            Response::Ack { cost: c } => {
+                cost.merge(&c);
+                Ok(true)
+            }
+            other => Err(Error::rejected(format!(
+                "discard_entry: unexpected {other:?}"
+            ))),
         }
     }
 
@@ -446,6 +492,20 @@ impl RemotePs {
     }
 }
 
+/// Unwrap for the infallible [`PsEngine`] facade: any terminal failure
+/// (including a successful failover, whose rewind contract the
+/// `PsEngine` interface cannot express) is fatal, but the panic names
+/// the RPC and carries the structured [`ErrorKind`] so a crash log
+/// distinguishes a timeout from a rejection. Callers that own failure
+/// handling use the [`PsClient`] / `try_*` surface instead — every
+/// facade method below is a thin wrapper over it.
+fn fatal<T>(what: &str, r: Result<T, Error>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("PS RPC {what} failed ({:?}): {e}", e.kind()),
+    }
+}
+
 impl PsEngine for RemotePs {
     fn name(&self) -> &'static str {
         self.name
@@ -456,123 +516,54 @@ impl PsEngine for RemotePs {
     }
 
     fn pull(&self, keys: &[Key], batch: BatchId, out: &mut Vec<f32>, cost: &mut Cost) {
-        if let Err(e) = self.pull_impl(keys, batch, out, cost) {
-            panic!("PS RPC failed: {e}");
-        }
+        fatal("pull", self.pull_impl(keys, batch, out, cost));
     }
 
     fn end_pull_phase(&self, batch: BatchId) -> MaintenanceReport {
-        let mut net_cost = Cost::new();
-        let resp = self.call(Request::EndPullPhase { batch }, &mut net_cost);
-        match resp {
-            Response::Maintenance {
-                entries,
-                commits,
-                cost: mut c,
-            } => {
-                c.merge(&net_cost);
-                MaintenanceReport {
-                    cost: c,
-                    entries_processed: entries,
-                    ckpt_commits: commits,
-                }
-            }
-            other => panic!("end_pull_phase: unexpected {other:?}"),
-        }
+        fatal("end_pull_phase", self.flush_batch(batch))
     }
 
     fn push(&self, keys: &[Key], grads: &[f32], batch: BatchId, cost: &mut Cost) {
-        if let Err(e) = self.push_impl(keys, grads, batch, cost) {
-            panic!("PS RPC failed: {e}");
-        }
+        fatal("push", self.push_impl(keys, grads, batch, cost));
     }
 
     fn request_checkpoint(&self, batch: BatchId) -> Cost {
-        let mut cost = Cost::new();
-        match self.call(Request::Checkpoint { batch }, &mut cost) {
-            Response::Ack { cost: c } => {
-                cost.merge(&c);
-                cost
-            }
-            other => panic!("checkpoint: unexpected {other:?}"),
-        }
+        fatal("checkpoint", self.checkpoint(batch))
     }
 
     fn committed_checkpoint(&self) -> BatchId {
-        let mut scratch = Cost::new();
-        match self.call(Request::Committed, &mut scratch) {
-            Response::Committed { batch } => batch,
-            other => panic!("committed: unexpected {other:?}"),
-        }
+        fatal("committed", self.committed())
     }
 
     fn stats(&self) -> StatsSnapshot {
-        let mut scratch = Cost::new();
-        match self.call(Request::Stats, &mut scratch) {
-            Response::Stats(s) => s,
-            other => panic!("stats: unexpected {other:?}"),
-        }
+        fatal("stats", self.snapshot_stats())
     }
 
     fn read_weights(&self, key: Key) -> Option<Vec<f32>> {
-        let mut scratch = Cost::new();
-        match self.call(Request::ReadWeights { key }, &mut scratch) {
-            Response::MaybeWeights(w) => w,
-            other => panic!("read_weights: unexpected {other:?}"),
-        }
+        fatal("read_weights", self.weights_of(key))
     }
 
     fn num_keys(&self) -> usize {
-        let mut scratch = Cost::new();
-        match self.call(Request::NumKeys, &mut scratch) {
-            Response::Count(n) => n as usize,
-            other => panic!("num_keys: unexpected {other:?}"),
-        }
+        fatal("num_keys", self.key_count())
     }
 
     fn metrics_text(&self) -> String {
-        let mut scratch = Cost::new();
-        match self.call(Request::Metrics, &mut scratch) {
-            // Client-side fault-tolerance metrics lead the exposition,
-            // then the server + engine registries.
-            Response::Metrics(text) => format!("{}{}", self.registry.render_text(), text),
-            other => panic!("metrics: unexpected {other:?}"),
-        }
+        fatal("metrics", self.metrics())
     }
 
     fn export_entry(&self, key: Key, cost: &mut Cost) -> Option<(BatchId, Vec<f32>)> {
-        match self.call(Request::ExportEntry { key }, cost) {
-            Response::Entry(e) => e,
-            other => panic!("export_entry: unexpected {other:?}"),
-        }
+        fatal("export_entry", self.try_export_entry(key, cost))
     }
 
     fn import_entry(&self, key: Key, version: BatchId, payload: &[f32], cost: &mut Cost) -> bool {
-        let resp = self.call(
-            Request::ImportEntry {
-                key,
-                version,
-                payload: payload.to_vec(),
-            },
-            cost,
-        );
-        match resp {
-            Response::Ack { cost: c } => {
-                cost.merge(&c);
-                true
-            }
-            other => panic!("import_entry: unexpected {other:?}"),
-        }
+        fatal(
+            "import_entry",
+            self.try_import_entry(key, version, payload, cost),
+        )
     }
 
     fn discard_entry(&self, key: Key, cost: &mut Cost) -> bool {
-        match self.call(Request::DiscardEntry { key }, cost) {
-            Response::Ack { cost: c } => {
-                cost.merge(&c);
-                true
-            }
-            other => panic!("discard_entry: unexpected {other:?}"),
-        }
+        fatal("discard_entry", self.try_discard_entry(key, cost))
     }
 }
 
@@ -1060,6 +1051,34 @@ mod tests {
                 w_committed[d] - 1.0
             );
         }
+    }
+
+    #[test]
+    fn migration_try_api_returns_structured_errors_instead_of_panicking() {
+        let mut cfg = NodeConfig::small(4);
+        cfg.optimizer = OptimizerKind::Sgd { lr: 1.0 };
+        let engine: Arc<dyn PsEngine> = Arc::new(PsNode::new(cfg));
+        let (client_t, server_t) = loopback(32);
+        let _handle = PsServer::spawn(engine, server_t, 2);
+        let inj = Arc::new(FaultInjector::new(Arc::new(client_t), FaultSpec::none(11)));
+        let remote = RemotePs::connect(
+            Arc::clone(&inj) as Arc<dyn Transport>,
+            NetConfig::paper_default(),
+        );
+        let mut cost = Cost::new();
+        assert_eq!(remote.try_export_entry(1, &mut cost).unwrap(), None);
+
+        // Primary dies with no standby configured: the try_* surface
+        // hands back the structured verdict the PsEngine facade can
+        // only turn into a panic.
+        inj.kill();
+        let err = remote.try_discard_entry(1, &mut cost).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Disconnected);
+        assert!(err.to_string().contains("no standby"), "{err}");
+        let err = remote
+            .try_import_entry(1, 1, &[0.0; 4], &mut cost)
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Disconnected);
     }
 
     #[test]

@@ -298,8 +298,8 @@ fn get_f32s(buf: &mut Bytes) -> Result<Vec<f32>, Error> {
     Ok((0..n).map(|_| buf.get_f32_le()).collect())
 }
 
-/// Wire size of a [`Cost`]: 7 ns counters + 7 op counters, 8 bytes each.
-const COST_WIRE_LEN: usize = 14 * 8;
+/// Wire size of a [`Cost`]: 8 ns counters + 8 op counters, 8 bytes each.
+const COST_WIRE_LEN: usize = 16 * 8;
 
 fn put_cost(buf: &mut BytesMut, cost: &Cost) {
     let (ns, ops) = cost.raw_parts();
@@ -312,11 +312,11 @@ fn put_cost(buf: &mut BytesMut, cost: &Cost) {
 }
 
 fn get_cost(buf: &mut Bytes) -> Result<Cost, Error> {
-    if buf.remaining() < 14 * 8 {
+    if buf.remaining() < COST_WIRE_LEN {
         return Err(truncated());
     }
-    let mut ns = [0u64; 7];
-    let mut ops = [0u64; 7];
+    let mut ns = [0u64; 8];
+    let mut ops = [0u64; 8];
     for v in &mut ns {
         *v = buf.get_u64_le();
     }

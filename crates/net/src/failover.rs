@@ -129,17 +129,29 @@ impl Standby for CheckpointReplica {
         let recovery_ns = recovery_burst_ns(&cost, self.recovery_threads);
         let recovered_keys = report.scan.live.len();
         let resume_batch = report.resume_batch;
-        let engine: Arc<dyn PsEngine> = Arc::new(node);
-        let (client_t, server_t) = loopback(32);
-        let handle = PsServer::spawn(engine, server_t, self.service_threads.max(1));
+        let (transport, handle) = spawn_promoted(Arc::new(node), self.service_threads);
         *self.handle.lock() = Some(handle);
         Ok(Promotion {
-            transport: Arc::new(client_t),
+            transport,
             resume_batch,
             recovery_ns,
             recovered_keys,
         })
     }
+}
+
+/// Spin up a freshly recovered engine behind a loopback transport —
+/// the serving tail every standby flavour shares (checkpoint replicas
+/// here, pool-resident standbys in `oe-pool`). Returns the client-side
+/// transport plus the [`ServerHandle`] keeping the workers alive; the
+/// standby must hold the handle for its lifetime.
+pub fn spawn_promoted(
+    engine: Arc<dyn PsEngine>,
+    service_threads: usize,
+) -> (Arc<dyn Transport>, ServerHandle) {
+    let (client_t, server_t) = loopback(32);
+    let handle = PsServer::spawn(engine, server_t, service_threads.max(1));
+    (Arc::new(client_t), handle)
 }
 
 /// Virtual recovery time for a recovery `cost` parallelized over

@@ -60,7 +60,9 @@ pub use codec::{
 };
 pub use config::{NetCharge, NetConfig, RetryPolicy};
 pub use error::{Error, ErrorKind};
-pub use failover::{CheckpointReplica, FailoverEvent, Promotion, Standby};
+pub use failover::{
+    recovery_burst_ns, spawn_promoted, CheckpointReplica, FailoverEvent, Promotion, Standby,
+};
 pub use fault::{FaultInjector, FaultSpec};
 pub use server::{PsServer, ServerHandle};
 pub use transport::{loopback, ClientTransport, Transport};

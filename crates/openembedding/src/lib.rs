@@ -51,6 +51,7 @@
 //! | [`workload`] | skew models fitted to the paper's trace, Criteo synth, analysis |
 //! | [`train`] | synchronous-training simulator, DeepFM, failure injection, cost model |
 //! | [`net`] | wire protocol, fault-injecting transports, retry/deadline, checkpoint failover |
+//! | [`pool`] | disaggregated PMem: shared remote pool, fabric cost model, pool-resident failover |
 //! | [`telemetry`] | lock-free latency histograms, metric registry, phase spans, text exposition |
 
 pub mod layer;
@@ -61,6 +62,7 @@ pub use oe_cluster as cluster;
 pub use oe_core as core;
 pub use oe_net as net;
 pub use oe_pmem as pmem;
+pub use oe_pool as pool;
 pub use oe_serve as serve;
 pub use oe_simdevice as simdevice;
 pub use oe_telemetry as telemetry;
@@ -76,12 +78,14 @@ pub mod prelude {
     };
     pub use oe_core::engine::PsEngine;
     pub use oe_core::{
-        BatchId, CheckpointScheduler, Cluster, Key, NodeConfig, Optimizer, OptimizerKind, PsNode,
+        BatchId, CheckpointScheduler, Cluster, DramStore, Key, LocalPmem, NodeConfig, Optimizer,
+        OptimizerKind, PsNode, StorageBackend,
     };
     pub use oe_net::{
         loopback, CheckpointReplica, FaultInjector, FaultSpec, NetConfig, PsClient, PsServer,
         RemotePs, RetryPolicy,
     };
+    pub use oe_pool::{FabricConfig, PoolStandby, RemotePool, SharedPool};
     pub use oe_serve::{
         load_image, recall_at_k, save_image, AnnConfig, CheckpointPublisher, ExactScan,
         LshRetriever, Retriever, ServingNode, Snapshot, SnapshotHandle, SnapshotReader,

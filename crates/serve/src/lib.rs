@@ -20,9 +20,8 @@
 //!   trait: [`ann::ExactScan`] (reference arm) and
 //!   [`ann::LshRetriever`] over a per-snapshot random-hyperplane
 //!   [`ann::LshIndex`] built at flip time;
-//! - [`serving`] — [`serving::ServingNode`]: the single-image
-//!   compatibility surface, now a thin wrapper over a snapshot with
-//!   deprecated out-param shims;
+//! - [`serving`] — [`serving::ServingNode`]: the single-image read
+//!   surface, a thin wrapper over a snapshot;
 //! - `oectl` — the operations CLI: `info`, `scan`, `verify`, `dump`,
 //!   `top [--ann]`, `metrics` over image files (see
 //!   `src/bin/oectl.rs`).

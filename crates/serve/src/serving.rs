@@ -1,21 +1,14 @@
-//! Read-only serving node (compatibility surface).
+//! Read-only serving node.
 //!
-//! [`ServingNode`] predates the concurrent serving plane: it served
-//! point lookups from one static image through `&mut Vec` out-params.
-//! It is now a thin wrapper over an immutable
+//! [`ServingNode`] is a thin wrapper over an immutable
 //! [`Snapshot`](crate::snapshot_handle::Snapshot) — the image is
-//! decoded once into a DRAM row arena at open time — and its
-//! out-param methods are **deprecated shims** kept for one release.
-//! New code reads through the borrow-returning `Snapshot` API (and
+//! decoded once into a DRAM row arena at open time; reads are then
+//! borrow-returning `(value, Cost)` pairs ([`ServingNode::get`],
+//! [`ServingNode::retrieve`]). Use
 //! [`crate::snapshot_handle::SnapshotHandle`] for concurrent,
-//! flip-on-checkpoint serving):
-//!
-//! ```text
-//! old: node.lookup(key, &mut out, &mut cost) -> bool
-//! new: node.snapshot().lookup(key)           -> (Option<&[f32]>, Cost)
-//! old: node.top_k(&q, &candidates, k, &mut cost)
-//! new: node.retrieve(&q, k, &ExactScan)      -> (Vec<TopK>, Cost)
-//! ```
+//! flip-on-checkpoint serving. The pre-snapshot out-param shims
+//! (`lookup`/`lookup_many`/`top_k`/`read_payload`) lived out their one
+//! deprecation release and are gone.
 
 use crate::ann::Retriever;
 use crate::snapshot_handle::Snapshot;
@@ -129,67 +122,9 @@ impl ServingNode {
         retriever.top_k(&self.snapshot, query, k)
     }
 
-    /// Look up one embedding into `out` (`dim` values appended).
-    /// Returns false (and appends zeros — the standard missing-feature
-    /// convention) if the key is unknown.
-    #[deprecated(note = "use `snapshot().lookup(key)` — borrow-returning, `(value, Cost)` pair")]
-    pub fn lookup(&self, key: u64, out: &mut Vec<f32>, cost: &mut Cost) -> bool {
-        let (value, c) = self.get(key);
-        cost.merge(&c);
-        match value {
-            Some(row) => {
-                out.extend_from_slice(row);
-                true
-            }
-            None => {
-                out.extend(std::iter::repeat_n(0.0, self.dim()));
-                false
-            }
-        }
-    }
-
-    /// Look up many embeddings.
-    #[deprecated(note = "use `snapshot().lookup(key)` per key — borrows, no out-params")]
-    #[allow(deprecated)]
-    pub fn lookup_many(&self, keys: &[u64], out: &mut Vec<f32>, cost: &mut Cost) -> usize {
-        keys.iter().filter(|&&k| self.lookup(k, out, cost)).count()
-    }
-
-    /// Score `candidates` against a query embedding by dot product and
-    /// return the top `k`, highest first.
-    #[deprecated(
-        note = "use `retrieve(query, k, &ExactScan)` (or an ANN arm) — `(value, Cost)` pair"
-    )]
-    pub fn top_k(&self, query: &[f32], candidates: &[u64], k: usize, cost: &mut Cost) -> Vec<TopK> {
-        // Exact scan restricted to `candidates`, preserving the old
-        // contract (unknown candidates skipped, not zero-filled).
-        assert_eq!(query.len(), self.dim(), "query dim mismatch");
-        let _span = self.phases.span(Phase::ServeTopk);
-        let mut scored: Vec<TopK> = Vec::with_capacity(candidates.len());
-        for &key in candidates {
-            let (value, c) = self.snapshot.lookup(key);
-            cost.merge(&c);
-            if let Some(row) = value {
-                let score = query.iter().zip(row).map(|(q, e)| q * e).sum();
-                scored.push(TopK { key, score });
-            }
-        }
-        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.key.cmp(&b.key)));
-        scored.truncate(k);
-        scored
-    }
-
     /// Iterate all served keys (ascending).
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
         self.snapshot.keys().iter().copied()
-    }
-
-    /// Read the full payload of a key.
-    #[deprecated(note = "use `snapshot().payload(key)` — borrows instead of allocating per call")]
-    pub fn read_payload(&self, key: u64, cost: &mut Cost) -> Option<Vec<f32>> {
-        let (value, c) = self.snapshot.payload(key);
-        cost.merge(&c);
-        value.map(<[f32]>::to_vec)
     }
 }
 
@@ -308,47 +243,6 @@ mod tests {
             text.contains("serve_lookup_latency_ns{quantile=\"0.99\"}"),
             "text:\n{text}"
         );
-    }
-
-    /// The deprecated out-param shims stay behaviorally identical to
-    /// the borrow API for one release.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_the_borrow_api() {
-        let (image, expected) = trained_image();
-        let mut cost = Cost::new();
-        let node = ServingNode::open(image, DIM, 16, &mut cost).unwrap();
-
-        // lookup: appends the row, true on hit.
-        let mut out = Vec::new();
-        assert!(node.lookup(7, &mut out, &mut cost));
-        assert_eq!(out, expected[7]);
-        // unknown: zero-fill convention preserved.
-        let mut out = Vec::new();
-        assert!(!node.lookup(999_999, &mut out, &mut cost));
-        assert_eq!(out, vec![0.0; DIM]);
-
-        // lookup_many counts hits and concatenates.
-        let mut out = Vec::new();
-        let found = node.lookup_many(&[1, 999_999, 2], &mut out, &mut cost);
-        assert_eq!(found, 2);
-        assert_eq!(out.len(), 3 * DIM);
-
-        // top_k over an explicit candidate set matches retrieve()
-        // restricted to those candidates.
-        let query = expected[7].clone();
-        let candidates: Vec<u64> = (0..50).collect();
-        let old = node.top_k(&query, &candidates, 5, &mut cost);
-        let (new, _) = node.retrieve(&query, 5, &ExactScan);
-        assert_eq!(
-            old.iter().map(|t| t.key).collect::<Vec<_>>(),
-            new.iter().map(|t| t.key).collect::<Vec<_>>(),
-            "same ranking from shim and borrow API"
-        );
-
-        // read_payload clones what payload() borrows.
-        let cloned = node.read_payload(3, &mut cost).unwrap();
-        assert_eq!(cloned.as_slice(), node.snapshot().payload(3).0.unwrap());
     }
 
     #[test]

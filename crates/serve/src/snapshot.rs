@@ -50,6 +50,7 @@ fn device_tag(kind: DeviceKind) -> u8 {
         DeviceKind::Dram => 0,
         DeviceKind::Pmem => 1,
         DeviceKind::FlashSsd => 2,
+        DeviceKind::CxlFabric => 3,
     }
 }
 
@@ -58,6 +59,7 @@ fn device_from_tag(tag: u8) -> Result<DeviceKind, SnapshotError> {
         0 => Ok(DeviceKind::Dram),
         1 => Ok(DeviceKind::Pmem),
         2 => Ok(DeviceKind::FlashSsd),
+        3 => Ok(DeviceKind::CxlFabric),
         _ => Err(SnapshotError::BadFormat("unknown device tag")),
     }
 }

@@ -48,6 +48,8 @@ pub struct ContentionModel {
     pub dram: DeviceTiming,
     /// SSD timing for bandwidth floors.
     pub ssd: DeviceTiming,
+    /// Fabric-link timing for disaggregated-pool bandwidth floors.
+    pub fabric: DeviceTiming,
 }
 
 impl ContentionModel {
@@ -60,6 +62,7 @@ impl ContentionModel {
             pmem: DeviceTiming::pmem(),
             dram: DeviceTiming::dram(),
             ssd: DeviceTiming::flash_ssd(),
+            fabric: DeviceTiming::cxl_fabric(),
         }
     }
 
@@ -112,8 +115,12 @@ impl ContentionModel {
             cost.ns(CostKind::SsdTransfer),
             self.ssd.concurrency_efficiency(s),
         );
+        let fabric = dev(
+            cost.ns(CostKind::FabricTransfer),
+            self.fabric.concurrency_efficiency(s),
+        );
 
-        serial + cpuish + dram + pmem_r + pmem_w + ssd
+        serial + cpuish + dram + pmem_r + pmem_w + ssd + fabric
     }
 }
 

@@ -35,11 +35,14 @@ pub enum CostKind {
     Serialized = 5,
     /// Network transfer + RPC overhead.
     Net = 6,
+    /// CXL-style fabric transfer to a disaggregated memory pool
+    /// (bandwidth-bound; shared by every node attached to the pool).
+    FabricTransfer = 7,
 }
 
 impl CostKind {
     /// All categories, for iteration/reporting.
-    pub const ALL: [CostKind; 7] = [
+    pub const ALL: [CostKind; 8] = [
         CostKind::DramTransfer,
         CostKind::PmemRead,
         CostKind::PmemWrite,
@@ -47,6 +50,7 @@ impl CostKind {
         CostKind::Cpu,
         CostKind::Serialized,
         CostKind::Net,
+        CostKind::FabricTransfer,
     ];
 
     /// True if work of this kind charged on *distinct parallel lanes*
@@ -73,11 +77,12 @@ impl CostKind {
             CostKind::Cpu => "cpu",
             CostKind::Serialized => "serialized",
             CostKind::Net => "net",
+            CostKind::FabricTransfer => "fabric",
         }
     }
 }
 
-const N_KINDS: usize = 7;
+const N_KINDS: usize = 8;
 
 /// Accumulated virtual-time charges, by category, plus operation counters.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
@@ -170,12 +175,12 @@ impl Cost {
 
     /// Raw (ns, ops) arrays in [`CostKind::ALL`] order — for wire
     /// serialization by the RPC layer.
-    pub fn raw_parts(&self) -> ([Nanos; 7], [u64; 7]) {
+    pub fn raw_parts(&self) -> ([Nanos; 8], [u64; 8]) {
         (self.ns, self.ops)
     }
 
     /// Rebuild from raw parts (inverse of [`Self::raw_parts`]).
-    pub fn from_raw_parts(ns: [Nanos; 7], ops: [u64; 7]) -> Self {
+    pub fn from_raw_parts(ns: [Nanos; 8], ops: [u64; 8]) -> Self {
         Self { ns, ops }
     }
 

@@ -26,6 +26,10 @@ pub enum DeviceKind {
     Pmem,
     /// NVMe flash SSD (block device; byte access rounded up to 4 KiB).
     FlashSsd,
+    /// CXL-style fabric link to a disaggregated memory pool
+    /// (TrainingCXL direction): PMem media reached through a load/store
+    /// fabric rather than the local memory bus.
+    CxlFabric,
 }
 
 /// A calibrated timing model for one device.
@@ -91,12 +95,30 @@ impl DeviceTiming {
         }
     }
 
+    /// CXL-style fabric link to a disaggregated pool: latency sits
+    /// between local PMem and SSD (~one switch hop each way), bandwidth
+    /// is a single x8 link shared by everything behind it, and the
+    /// efficiency exponent models switch-port congestion — gentler than
+    /// Optane's media collapse but far from DRAM's near-linear scaling.
+    pub const fn cxl_fabric() -> Self {
+        Self {
+            kind: DeviceKind::CxlFabric,
+            read_lat_ns: 400,
+            write_lat_ns: 400,
+            read_bw_bytes_per_ns: 32.0,
+            write_bw_bytes_per_ns: 32.0,
+            access_granularity: 64,
+            concurrency_exponent: 0.75,
+        }
+    }
+
     /// Model for a device kind.
     pub fn of(kind: DeviceKind) -> Self {
         match kind {
             DeviceKind::Dram => Self::dram(),
             DeviceKind::Pmem => Self::pmem(),
             DeviceKind::FlashSsd => Self::flash_ssd(),
+            DeviceKind::CxlFabric => Self::cxl_fabric(),
         }
     }
 
@@ -156,6 +178,7 @@ impl DeviceTiming {
             DeviceKind::Dram => CostKind::DramTransfer,
             DeviceKind::Pmem => CostKind::PmemRead,
             DeviceKind::FlashSsd => CostKind::SsdTransfer,
+            DeviceKind::CxlFabric => CostKind::FabricTransfer,
         }
     }
 
@@ -165,6 +188,7 @@ impl DeviceTiming {
             DeviceKind::Dram => CostKind::DramTransfer,
             DeviceKind::Pmem => CostKind::PmemWrite,
             DeviceKind::FlashSsd => CostKind::SsdTransfer,
+            DeviceKind::CxlFabric => CostKind::FabricTransfer,
         }
     }
 

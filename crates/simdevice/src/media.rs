@@ -210,7 +210,7 @@ impl Media {
             g.durable.resize(end.next_power_of_two(), 0);
         }
         match self.timing.kind {
-            DeviceKind::Dram | DeviceKind::FlashSsd => {
+            DeviceKind::Dram | DeviceKind::FlashSsd | DeviceKind::CxlFabric => {
                 g.durable[off as usize..end].copy_from_slice(data);
                 cost.charge(
                     self.timing.write_cost_kind(),
@@ -381,6 +381,12 @@ impl Media {
             DeviceKind::FlashSsd => CrashImage {
                 bytes: g.durable.clone(),
                 device: DeviceKind::FlashSsd,
+            },
+            // Fabric-attached pool media outlives the node: the write
+            // path applies stores directly, so everything survives.
+            DeviceKind::CxlFabric => CrashImage {
+                bytes: g.durable.clone(),
+                device: DeviceKind::CxlFabric,
             },
             DeviceKind::Pmem => Self::pmem_image(&g, seed),
         }

@@ -28,7 +28,7 @@ pub mod trace;
 
 pub use analyze::{che_miss_rate, top_share_empirical, RankFrequency};
 pub use criteo::{CriteoSample, CriteoSynth};
-pub use generator::{Batch, WorkloadGen, WorkloadSpec};
+pub use generator::{Batch, UniformStream, WorkloadGen, WorkloadSpec};
 pub use lookahead::LookaheadGen;
 pub use skew::SkewModel;
 pub use storm::{StormGen, StormSpec};

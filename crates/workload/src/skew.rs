@@ -87,19 +87,37 @@ impl SkewModel {
         s
     }
 
-    /// Sample a normalized rank in [0,1).
-    pub fn sample_x<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let mut pick: f64 = rng.gen();
+    /// Normalized rank in [0,1) as a pure function of two uniform
+    /// draws: `pick` selects the mixture component, `u` feeds its
+    /// inverse CDF (or passes through for the uniform tail). Always
+    /// consumes exactly two uniforms, so callers that own their own
+    /// uniform stream (e.g. the batch generator's seeded stream) get a
+    /// key sequence that is a pure function of the seed — independent
+    /// of any `rand` implementation.
+    pub fn x_from_uniforms(&self, pick: f64, u: f64) -> f64 {
+        let mut pick = pick;
         for &(w, l) in &self.components {
             if pick < w {
                 // Inverse CDF of the truncated exponential.
-                let u: f64 = rng.gen();
                 let x = -(1.0 - u * (1.0 - (-l).exp())).ln() / l;
                 return x.min(1.0 - f64::EPSILON);
             }
             pick -= w;
         }
-        rng.gen::<f64>()
+        u
+    }
+
+    /// Sample a normalized rank in [0,1).
+    pub fn sample_x<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let pick: f64 = rng.gen();
+        let u: f64 = rng.gen();
+        self.x_from_uniforms(pick, u)
+    }
+
+    /// Key rank in `[0, num_keys)` from two explicit uniform draws
+    /// (see [`SkewModel::x_from_uniforms`]).
+    pub fn rank_from_uniforms(&self, pick: f64, u: f64, num_keys: u64) -> u64 {
+        ((self.x_from_uniforms(pick, u) * num_keys as f64) as u64).min(num_keys - 1)
     }
 
     /// Sample a key rank in `[0, num_keys)`.

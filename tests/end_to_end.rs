@@ -49,20 +49,28 @@ fn deepfm_on_oe_converges() {
 
 #[test]
 fn cache_hit_rate_reflects_skew() {
-    // A cache holding ~2% of keys should catch the hot head (>65% hits
-    // under the paper-fit skew). The bound is loose on purpose: the
-    // exact miss rate depends on the RNG stream behind the zipf
-    // sampler, and alternative `rand` implementations (e.g. a vendored
-    // stub) land a few points higher without the skew handling being
-    // any less correct.
+    // A cache holding ~2% of keys catches the hot head. The key stream
+    // is a pure function of the spec seed (splitmix64 inside
+    // `WorkloadGen`), so the miss rate is an exact replayable number
+    // (0.3225 here) rather than a draw from whichever `rand` backs the
+    // build — the old one-sided `< 0.35` slack for alternative RNGs is
+    // gone. An ideal LRU of the same capacity on this exact stream
+    // gives 0.3245 (misses are per *deduped* key per worker batch, so
+    // the cold tail weighs far more than its per-access share), which
+    // pins both sides: well under it means the PS cache at least
+    // matches ideal LRU; well over zero means the cold tail still
+    // churns.
     let node = oe_node(8, 160);
     let gen = WorkloadGen::new(spec(2));
     let mut t = SyncTrainer::new(&node, &gen, TrainerConfig::paper(2));
     t.run(1, 5); // warm up
     let r = t.run(6, 30);
     let miss = r.miss_rate();
-    assert!(miss < 0.35, "hot head cached: miss = {miss}");
-    assert!(miss > 0.0, "cold tail misses sometimes");
+    assert!(miss < 0.33, "hot head cached: miss = {miss}");
+    assert!(
+        miss > 0.30,
+        "cold tail misses deterministically: miss = {miss}"
+    );
 }
 
 #[test]
